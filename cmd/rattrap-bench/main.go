@@ -1,0 +1,152 @@
+// Command rattrap-bench regenerates every table and figure of the paper's
+// evaluation from the simulated testbed. Without flags it runs everything;
+// -fig / -table select individual artifacts; -out additionally writes each
+// artifact as both a text table and a CSV file.
+//
+// Usage:
+//
+//	rattrap-bench [-seed N] [-fig 1|2|3|9|10|11|obs4] [-table 1|2] [-out dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"rattrap/internal/experiments"
+	"rattrap/internal/metrics"
+)
+
+func main() {
+	seed := flag.Int64("seed", 42, "simulation seed (results are deterministic per seed)")
+	fig := flag.String("fig", "", "figure to regenerate: 1, 2, 3, 9, 10, 11 or obs4")
+	table := flag.String("table", "", "table to regenerate: 1 or 2")
+	out := flag.String("out", "", "directory to also write .txt and .csv artifacts to")
+	flag.Parse()
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "rattrap-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	all := *fig == "" && *table == ""
+	emit := func(name string, fn func() ([]*metrics.Table, error)) {
+		tabs, err := fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rattrap-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		for _, tb := range tabs {
+			fmt.Println(tb.Render())
+			if *out == "" {
+				continue
+			}
+			slug := tb.Slug()
+			if err := os.WriteFile(filepath.Join(*out, slug+".txt"), []byte(tb.Render()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "rattrap-bench: writing %s: %v\n", slug, err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(filepath.Join(*out, slug+".csv"), []byte(tb.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "rattrap-bench: writing %s: %v\n", slug, err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	var comparison *experiments.Comparison
+	getComparison := func() (*experiments.Comparison, error) {
+		if comparison == nil {
+			c, err := experiments.RunComparison(*seed)
+			if err != nil {
+				return nil, err
+			}
+			comparison = c
+		}
+		return comparison, nil
+	}
+
+	if all || *fig == "1" {
+		emit("figure 1", func() ([]*metrics.Table, error) {
+			f, err := experiments.RunFigure1(*seed)
+			if err != nil {
+				return nil, err
+			}
+			return f.Tables(), nil
+		})
+	}
+	if all || *fig == "2" {
+		emit("figure 2", func() ([]*metrics.Table, error) {
+			f, err := experiments.RunFigure2(*seed)
+			if err != nil {
+				return nil, err
+			}
+			return f.Tables(), nil
+		})
+	}
+	if all || *fig == "3" {
+		emit("figure 3", func() ([]*metrics.Table, error) {
+			f, err := experiments.RunFigure3(*seed)
+			if err != nil {
+				return nil, err
+			}
+			return f.Tables(), nil
+		})
+	}
+	if all || *fig == "obs4" {
+		emit("observation 4", func() ([]*metrics.Table, error) {
+			o, err := experiments.RunObservation4(*seed)
+			if err != nil {
+				return nil, err
+			}
+			return o.Tables(), nil
+		})
+	}
+	if all || *table == "1" {
+		emit("table I", func() ([]*metrics.Table, error) {
+			t, err := experiments.RunTableI(*seed)
+			if err != nil {
+				return nil, err
+			}
+			return t.Tables(), nil
+		})
+	}
+	if all || *fig == "9" {
+		emit("figure 9", func() ([]*metrics.Table, error) {
+			c, err := getComparison()
+			if err != nil {
+				return nil, err
+			}
+			return c.Figure9Tables(), nil
+		})
+	}
+	if all || *table == "2" {
+		emit("table II", func() ([]*metrics.Table, error) {
+			c, err := getComparison()
+			if err != nil {
+				return nil, err
+			}
+			return c.TableIITables(), nil
+		})
+	}
+	if all || *fig == "10" {
+		emit("figure 10", func() ([]*metrics.Table, error) {
+			f, err := experiments.RunFigure10(*seed)
+			if err != nil {
+				return nil, err
+			}
+			return f.Tables(), nil
+		})
+	}
+	if all || *fig == "11" {
+		emit("figure 11", func() ([]*metrics.Table, error) {
+			f, err := experiments.RunFigure11(*seed)
+			if err != nil {
+				return nil, err
+			}
+			return f.Tables(), nil
+		})
+	}
+}

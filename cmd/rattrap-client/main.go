@@ -1,0 +1,90 @@
+// Command rattrap-client is a mobile-device emulator: it connects to a
+// rattrapd server, offloads requests for one of the benchmark apps, and
+// prints results with timings. The first request of an app transfers the
+// mobile code; later requests hit the App Warehouse.
+//
+// Usage:
+//
+//	rattrap-client [-server localhost:7431] [-app Linpack] [-n 3] [-device phone-1] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"os"
+	"time"
+
+	"rattrap/internal/offload"
+	"rattrap/internal/workload"
+)
+
+func main() {
+	server := flag.String("server", "localhost:7431", "rattrapd address")
+	appName := flag.String("app", workload.NameLinpack, "workload: OCR, ChessGame, VirusScan or Linpack")
+	n := flag.Int("n", 3, "number of offloading requests")
+	deviceID := flag.String("device", "phone-1", "device identifier")
+	seed := flag.Int64("seed", 1, "task generator seed")
+	flag.Parse()
+
+	app, err := workload.ByName(*appName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rattrap-client: %v\n", err)
+		os.Exit(2)
+	}
+	conn, err := net.Dial("tcp", *server)
+	if err != nil {
+		log.Fatalf("rattrap-client: %v", err)
+	}
+	defer conn.Close()
+	c := offload.NewConn(conn)
+	if err := c.Send(offload.Frame{Kind: offload.KindHello, Hello: &offload.Hello{DeviceID: *deviceID}}); err != nil {
+		log.Fatalf("rattrap-client: hello: %v", err)
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	aid := offload.AID(app.Name(), app.CodeSize())
+	for i := 0; i < *n; i++ {
+		task := app.NewTask(rng, i)
+		req := offload.ExecRequest{
+			DeviceID: *deviceID, AID: aid, App: task.App, Method: task.Method,
+			Seq: task.Seq, Params: task.Params, ParamBytes: task.ParamBytes,
+			FileBytes: task.FileBytes, RoundTrips: task.RoundTrips, InteractBytes: task.InteractBytes,
+		}
+		start := time.Now()
+		if err := c.Send(offload.Frame{Kind: offload.KindExec, Exec: &req}); err != nil {
+			log.Fatalf("rattrap-client: exec: %v", err)
+		}
+		f, err := c.Recv()
+		if err != nil {
+			log.Fatalf("rattrap-client: recv: %v", err)
+		}
+		pushed := false
+		if f.Kind == offload.KindNeedCode {
+			pushed = true
+			if err := c.Send(offload.Frame{Kind: offload.KindCode, Code: &offload.CodePush{
+				AID: aid, App: app.Name(), Size: app.CodeSize(),
+			}}); err != nil {
+				log.Fatalf("rattrap-client: code push: %v", err)
+			}
+			if f, err = c.Recv(); err != nil {
+				log.Fatalf("rattrap-client: recv: %v", err)
+			}
+		}
+		if f.Kind != offload.KindResult {
+			log.Fatalf("rattrap-client: unexpected frame %s", f.Kind)
+		}
+		elapsed := time.Since(start).Round(time.Millisecond)
+		if f.Result.Err != "" {
+			fmt.Printf("req %d: ERROR after %v: %s\n", i, elapsed, f.Result.Err)
+			continue
+		}
+		note := ""
+		if pushed {
+			note = " (mobile code transferred)"
+		}
+		fmt.Printf("req %d: %v%s -> %s\n", i, elapsed, note, f.Result.Output)
+	}
+}

@@ -1,0 +1,57 @@
+// Command rattrapd runs the Rattrap cloud platform as a real TCP server
+// speaking the offload wire protocol. Virtual platform time (container
+// boots, execution) is paced against the wall clock; -speed scales it for
+// demos (e.g. -speed 10 makes a 30 s VM boot take 3 s).
+//
+// Usage:
+//
+//	rattrapd [-listen :7431] [-platform rattrap|rattrap-wo|vm] [-speed 1] [-max-runtimes 5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	"rattrap/internal/core"
+	"rattrap/internal/realtime"
+)
+
+func main() {
+	listen := flag.String("listen", ":7431", "listen address")
+	platform := flag.String("platform", "rattrap", "platform kind: rattrap, rattrap-wo or vm")
+	speed := flag.Float64("speed", 1, "virtual-time speedup factor")
+	maxRuntimes := flag.Int("max-runtimes", 5, "runtime pool cap")
+	flag.Parse()
+
+	var kind core.Kind
+	switch *platform {
+	case "rattrap":
+		kind = core.KindRattrap
+	case "rattrap-wo":
+		kind = core.KindRattrapWO
+	case "vm":
+		kind = core.KindVM
+	default:
+		fmt.Fprintf(os.Stderr, "rattrapd: unknown platform %q\n", *platform)
+		os.Exit(2)
+	}
+
+	cfg := core.DefaultConfig(kind)
+	cfg.MaxRuntimes = *maxRuntimes
+	logger := log.New(os.Stderr, "rattrapd: ", log.LstdFlags)
+	srv := realtime.NewServer(cfg, *speed, logger)
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	logger.Printf("%s platform listening on %s (speed %.1fx, pool %d)",
+		kind, ln.Addr(), *speed, *maxRuntimes)
+	if err := srv.Serve(ln); err != nil {
+		logger.Fatal(err)
+	}
+}

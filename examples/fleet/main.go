@@ -1,0 +1,88 @@
+// Fleet: the full platform comparison in one program. Five handsets run
+// all four benchmark workloads against each of the three cloud platforms;
+// the example prints the paper's headline numbers — setup time, memory,
+// disk, phase means, warehouse behavior — from the Container DB and the
+// device-side accounting. This is the §VI evaluation in miniature.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rattrap/internal/core"
+	"rattrap/internal/device"
+	"rattrap/internal/host"
+	"rattrap/internal/metrics"
+	"rattrap/internal/netsim"
+	"rattrap/internal/sim"
+	"rattrap/internal/workload"
+)
+
+func main() {
+	type row struct {
+		kind      core.Kind
+		meanResp  time.Duration
+		meanPrep  time.Duration
+		memMB     int
+		diskTotal host.Bytes
+		runtimes  int
+		codeKB    float64
+	}
+	var rows []row
+
+	for _, kind := range []core.Kind{core.KindRattrap, core.KindRattrapWO, core.KindVM} {
+		e := sim.NewEngine(3)
+		platform := core.New(e, core.DefaultConfig(kind))
+		var resps, preps []float64
+		var codeUp host.Bytes
+
+		for i := 0; i < 5; i++ {
+			phone, err := device.New(e, fmt.Sprintf("phone-%d", i+1), netsim.LANWiFi())
+			if err != nil {
+				log.Fatal(err)
+			}
+			i := i
+			e.Spawn(phone.Name, func(p *sim.Proc) {
+				p.Sleep(time.Duration(i) * 400 * time.Millisecond)
+				for _, app := range workload.Apps() {
+					task := phone.NewTask(app)
+					ph, _, err := phone.Offload(p, task, app.CodeSize(), platform)
+					if err != nil {
+						log.Fatal(err)
+					}
+					resps = append(resps, ph.Response().Seconds())
+					preps = append(preps, ph.RuntimePreparation.Seconds())
+				}
+				codeUp += phone.Traffic().CodeUp
+			})
+		}
+		e.Run()
+
+		snap := platform.DB().Snapshot()
+		rows = append(rows, row{
+			kind:      kind,
+			meanResp:  time.Duration(metrics.Mean(resps) * float64(time.Second)),
+			meanPrep:  time.Duration(metrics.Mean(preps) * float64(time.Second)),
+			memMB:     snap.TotalMemMB,
+			diskTotal: platform.TotalDiskBytes(),
+			runtimes:  len(snap.Runtimes),
+			codeKB:    float64(codeUp) / 1024,
+		})
+	}
+
+	fmt.Println("fleet: 5 devices x 4 workloads (20 requests) per platform, LAN WiFi")
+	fmt.Println()
+	fmt.Printf("%-13s  %-10s  %-10s  %-9s  %-10s  %-9s  %s\n",
+		"platform", "mean resp", "mean prep", "runtimes", "cloud mem", "disk", "code sent")
+	for _, r := range rows {
+		fmt.Printf("%-13s  %-10v  %-10v  %-9d  %-10s  %-9s  %.0f KB\n",
+			r.kind, r.meanResp.Round(time.Millisecond), r.meanPrep.Round(time.Millisecond),
+			r.runtimes, fmt.Sprintf("%d MB", r.memMB),
+			fmt.Sprintf("%.2f GB", float64(r.diskTotal)/float64(host.GB)), r.codeKB)
+	}
+	fmt.Println()
+	fmt.Println("Rattrap serves the same fleet with ~5x less memory, ~20x less disk,")
+	fmt.Println("a fraction of the code traffic, and runtime preparation measured in")
+	fmt.Println("hundreds of milliseconds instead of tens of seconds.")
+}

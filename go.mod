@@ -1,0 +1,3 @@
+module rattrap
+
+go 1.22

@@ -1,0 +1,192 @@
+package acd
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"rattrap/internal/sim"
+)
+
+// Alarm is the per-namespace state of the RTC-based alarm driver Android
+// uses for timer messages. Alarms fire on the virtual clock.
+type Alarm struct {
+	e     *sim.Engine
+	next  int
+	armed map[int]*sim.Event
+	fired int
+}
+
+// NewAlarm returns an alarm device bound to e.
+func NewAlarm(e *sim.Engine) *Alarm {
+	return &Alarm{e: e, armed: make(map[int]*sim.Event)}
+}
+
+// Set arms an alarm to fire fn after d; it returns an id for Cancel.
+func (a *Alarm) Set(d time.Duration, fn func()) int {
+	a.next++
+	id := a.next
+	a.armed[id] = a.e.After(d, func() {
+		delete(a.armed, id)
+		a.fired++
+		fn()
+	})
+	return id
+}
+
+// Cancel disarms an alarm; it reports whether the alarm was still pending.
+func (a *Alarm) Cancel(id int) bool {
+	ev, ok := a.armed[id]
+	if !ok {
+		return false
+	}
+	ev.Cancel()
+	delete(a.armed, id)
+	return true
+}
+
+// Pending returns the number of armed alarms.
+func (a *Alarm) Pending() int { return len(a.armed) }
+
+// Fired returns how many alarms have fired.
+func (a *Alarm) Fired() int { return a.fired }
+
+// LogEntry is one record in a logger ring buffer.
+type LogEntry struct {
+	Tag string
+	Msg string
+}
+
+// Logger is the lightweight RAM log driver: a fixed-capacity ring buffer,
+// one instance per namespace per log stream (/dev/log/main, .../events).
+type Logger struct {
+	capBytes int
+	used     int
+	entries  []LogEntry
+	dropped  int
+}
+
+// NewLogger returns a ring buffer holding up to capBytes of entries.
+func NewLogger(capBytes int) *Logger {
+	if capBytes <= 0 {
+		panic("acd: logger capacity must be positive")
+	}
+	return &Logger{capBytes: capBytes}
+}
+
+func entrySize(e LogEntry) int { return len(e.Tag) + len(e.Msg) + 8 }
+
+// Write appends an entry, evicting the oldest entries when full.
+func (l *Logger) Write(e LogEntry) {
+	sz := entrySize(e)
+	for l.used+sz > l.capBytes && len(l.entries) > 0 {
+		l.used -= entrySize(l.entries[0])
+		l.entries = l.entries[1:]
+		l.dropped++
+	}
+	if sz > l.capBytes {
+		l.dropped++
+		return // entry larger than the whole buffer: dropped, like the real driver truncating
+	}
+	l.entries = append(l.entries, e)
+	l.used += sz
+}
+
+// Read returns the buffered entries, oldest first.
+func (l *Logger) Read() []LogEntry {
+	out := make([]LogEntry, len(l.entries))
+	copy(out, l.entries)
+	return out
+}
+
+// Dropped returns how many entries have been evicted or rejected.
+func (l *Logger) Dropped() int { return l.dropped }
+
+// Used returns buffered bytes.
+func (l *Logger) Used() int { return l.used }
+
+// Ashmem is the anonymous-shared-memory driver: named regions that
+// processes map by fd. State is kernel-global (not namespaced).
+type Ashmem struct {
+	next    int
+	regions map[int]*AshmemRegion
+}
+
+// AshmemRegion is one shared memory region.
+type AshmemRegion struct {
+	ID     int
+	Name   string
+	Size   int
+	pinned bool
+	freed  bool
+}
+
+// NewAshmem returns an empty region table.
+func NewAshmem() *Ashmem { return &Ashmem{regions: make(map[int]*AshmemRegion)} }
+
+// ErrRegionFreed is returned when touching an unpinned, reclaimed region.
+var ErrRegionFreed = errors.New("acd: ashmem region was reclaimed")
+
+// Create allocates a region of size bytes, initially pinned.
+func (a *Ashmem) Create(name string, size int) (*AshmemRegion, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("acd: ashmem region %q: size %d", name, size)
+	}
+	a.next++
+	r := &AshmemRegion{ID: a.next, Name: name, Size: size, pinned: true}
+	a.regions[r.ID] = r
+	return r, nil
+}
+
+// Unpin marks the region reclaimable under memory pressure.
+func (a *Ashmem) Unpin(id int) error {
+	r, ok := a.regions[id]
+	if !ok {
+		return fmt.Errorf("acd: ashmem: no region %d", id)
+	}
+	r.pinned = false
+	return nil
+}
+
+// Pin re-pins a region; it fails with ErrRegionFreed if the kernel
+// reclaimed it while unpinned.
+func (a *Ashmem) Pin(id int) error {
+	r, ok := a.regions[id]
+	if !ok {
+		return fmt.Errorf("acd: ashmem: no region %d", id)
+	}
+	if r.freed {
+		return ErrRegionFreed
+	}
+	r.pinned = true
+	return nil
+}
+
+// Shrink simulates memory pressure: every unpinned region is reclaimed.
+// It returns the bytes freed.
+func (a *Ashmem) Shrink() int {
+	freed := 0
+	for _, r := range a.regions {
+		if !r.pinned && !r.freed {
+			r.freed = true
+			freed += r.Size
+		}
+	}
+	return freed
+}
+
+// Destroy removes a region entirely.
+func (a *Ashmem) Destroy(id int) {
+	delete(a.regions, id)
+}
+
+// TotalBytes returns bytes held by live (non-reclaimed) regions.
+func (a *Ashmem) TotalBytes() int {
+	t := 0
+	for _, r := range a.regions {
+		if !r.freed {
+			t += r.Size
+		}
+	}
+	return t
+}

@@ -1,0 +1,164 @@
+// Package binder implements the semantics of Android's Binder IPC: a
+// service manager (context manager), per-process handle tables, and
+// synchronous transactions. One Context corresponds to one Binder device
+// instance; with device namespaces (package kernel), every Cloud Android
+// Container gets its own Context, so services registered inside one
+// container are invisible to every other — the isolation property the
+// paper gets from the Cells device-namespace framework.
+//
+// The package is pure logic (no simulated time): callers account for
+// transaction CPU/copy costs. That keeps it independently testable and
+// reusable from both the simulated and real-time paths.
+package binder
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Errors returned by Binder operations.
+var (
+	ErrNoService     = errors.New("binder: no such service")
+	ErrDuplicate     = errors.New("binder: service already registered")
+	ErrBadHandle     = errors.New("binder: bad handle")
+	ErrDeadBinder    = errors.New("binder: dead binder")
+	ErrEmptyName     = errors.New("binder: empty service name")
+	ErrNilTransactFn = errors.New("binder: nil transaction handler")
+)
+
+// TxnHandler serves incoming transactions: code selects the method, data is
+// the marshalled parcel; it returns the reply parcel.
+type TxnHandler func(code uint32, data []byte) ([]byte, error)
+
+// Service is a registered Binder node.
+type Service struct {
+	name    string
+	handler TxnHandler
+	dead    bool
+	deathFn []func()
+}
+
+// Name returns the service's registered name.
+func (s *Service) Name() string { return s.name }
+
+// Stats records Binder activity for a context.
+type Stats struct {
+	Transactions int
+	BytesIn      int64
+	BytesOut     int64
+	Lookups      int
+}
+
+// Context is one Binder device instance: the service-manager registry plus
+// a handle table.
+type Context struct {
+	services map[string]*Service
+	handles  map[uint32]*Service
+	next     uint32
+	stats    Stats
+}
+
+// NewContext returns an empty Binder context (as created when the binder
+// module initializes a device namespace).
+func NewContext() *Context {
+	return &Context{services: make(map[string]*Service), handles: make(map[uint32]*Service)}
+}
+
+// Register adds a named service, as servicemanager.addService would.
+func (c *Context) Register(name string, h TxnHandler) (*Service, error) {
+	if name == "" {
+		return nil, ErrEmptyName
+	}
+	if h == nil {
+		return nil, ErrNilTransactFn
+	}
+	if _, ok := c.services[name]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrDuplicate, name)
+	}
+	s := &Service{name: name, handler: h}
+	c.services[name] = s
+	return s, nil
+}
+
+// Unregister removes a service and marks it dead; pending handles to it
+// start returning ErrDeadBinder and death recipients fire.
+func (c *Context) Unregister(name string) error {
+	s, ok := c.services[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoService, name)
+	}
+	delete(c.services, name)
+	s.dead = true
+	for _, fn := range s.deathFn {
+		fn()
+	}
+	s.deathFn = nil
+	return nil
+}
+
+// Lookup resolves a service name to a handle (servicemanager.getService).
+func (c *Context) Lookup(name string) (uint32, error) {
+	c.stats.Lookups++
+	s, ok := c.services[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoService, name)
+	}
+	// Reuse an existing handle for the same service if present.
+	for h, svc := range c.handles {
+		if svc == s {
+			return h, nil
+		}
+	}
+	c.next++
+	c.handles[c.next] = s
+	return c.next, nil
+}
+
+// Transact performs a synchronous transaction against a handle.
+func (c *Context) Transact(handle uint32, code uint32, data []byte) ([]byte, error) {
+	s, ok := c.handles[handle]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrBadHandle, handle)
+	}
+	if s.dead {
+		return nil, fmt.Errorf("%w: %s", ErrDeadBinder, s.name)
+	}
+	c.stats.Transactions++
+	c.stats.BytesIn += int64(len(data))
+	reply, err := s.handler(code, data)
+	c.stats.BytesOut += int64(len(reply))
+	return reply, err
+}
+
+// Call is Lookup+Transact in one step, the common client pattern.
+func (c *Context) Call(service string, code uint32, data []byte) ([]byte, error) {
+	h, err := c.Lookup(service)
+	if err != nil {
+		return nil, err
+	}
+	return c.Transact(h, code, data)
+}
+
+// LinkToDeath registers fn to run when the named service dies.
+func (c *Context) LinkToDeath(name string, fn func()) error {
+	s, ok := c.services[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoService, name)
+	}
+	s.deathFn = append(s.deathFn, fn)
+	return nil
+}
+
+// Services lists registered service names, sorted.
+func (c *Context) Services() []string {
+	out := make([]string, 0, len(c.services))
+	for n := range c.services {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats returns accumulated activity counters.
+func (c *Context) Stats() Stats { return c.stats }

@@ -1,0 +1,115 @@
+package container
+
+import (
+	"errors"
+	"testing"
+
+	"rattrap/internal/host"
+	"rattrap/internal/kernel"
+	"rattrap/internal/sim"
+	"rattrap/internal/unionfs"
+)
+
+func newHarness() (*sim.Engine, *host.Host, *kernel.Kernel) {
+	e := sim.NewEngine(1)
+	h := host.New(e, host.CloudServer())
+	return e, h, kernel.New(e, h, "3.18.0")
+}
+
+func TestCreateFastAndRunning(t *testing.T) {
+	e, h, k := newHarness()
+	e.Spawn("t", func(p *sim.Proc) {
+		c, err := Create(p, h, k, DefaultConfig("c1", 128), unionfs.NewLayer("d", false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.State() != StateRunning {
+			t.Errorf("state = %v", c.State())
+		}
+		if c.CreateTime() <= 0 || c.CreateTime().Seconds() > 1 {
+			t.Errorf("create time = %v, want O(100ms)", c.CreateTime())
+		}
+	})
+	e.Run()
+}
+
+func TestConfigValidation(t *testing.T) {
+	e, h, k := newHarness()
+	e.Spawn("t", func(p *sim.Proc) {
+		if _, err := Create(p, h, k, Config{Name: "x", MemLimitMB: 0, CPUEff: 0.9, IOEff: 0.9}, unionfs.NewLayer("d", false)); err == nil {
+			t.Error("zero memory limit accepted")
+		}
+		if _, err := Create(p, h, k, Config{Name: "x", MemLimitMB: 64, CPUEff: 1.5, IOEff: 0.9}, unionfs.NewLayer("d", false)); err == nil {
+			t.Error("efficiency > 1 accepted")
+		}
+		if _, err := Create(p, h, k, DefaultConfig("x", 64), unionfs.NewLayer("ro", true)); err == nil {
+			t.Error("read-only upper accepted")
+		}
+	})
+	e.Run()
+}
+
+func TestCgroupMemoryLimit(t *testing.T) {
+	e, h, k := newHarness()
+	e.Spawn("t", func(p *sim.Proc) {
+		c, _ := Create(p, h, k, DefaultConfig("c1", 100), unionfs.NewLayer("d", false))
+		if err := c.AllocMem(60); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.AllocMem(50); !errors.Is(err, ErrMemLimit) {
+			t.Errorf("over-limit alloc: err = %v, want ErrMemLimit", err)
+		}
+		if h.MemUsedMB() != 60 {
+			t.Errorf("host charged %d MB, want 60", h.MemUsedMB())
+		}
+		c.FreeMem(60)
+		if h.MemUsedMB() != 0 {
+			t.Errorf("host still charged %d MB", h.MemUsedMB())
+		}
+	})
+	e.Run()
+}
+
+func TestStopReleasesMemory(t *testing.T) {
+	e, h, k := newHarness()
+	e.Spawn("t", func(p *sim.Proc) {
+		c, _ := Create(p, h, k, DefaultConfig("c1", 100), unionfs.NewLayer("d", false))
+		c.AllocMem(40)
+		if err := c.Stop(p); err != nil {
+			t.Fatal(err)
+		}
+		if c.State() != StateStopped {
+			t.Errorf("state = %v", c.State())
+		}
+		if h.MemUsedMB() != 0 {
+			t.Errorf("stop leaked %d MB", h.MemUsedMB())
+		}
+		if err := c.Stop(p); err == nil {
+			t.Error("double stop succeeded")
+		}
+		if _, err := c.OpenDevice("/dev/binder"); err == nil {
+			t.Error("device open on stopped container succeeded")
+		}
+	})
+	e.Run()
+}
+
+func TestDiskUsageIsUpperLayerOnly(t *testing.T) {
+	e, h, k := newHarness()
+	shared := unionfs.NewLayer("shared", true)
+	shared.AddFile("/system/framework/framework.jar", 300*host.MB, nil)
+	e.Spawn("t", func(p *sim.Proc) {
+		c, _ := Create(p, h, k, DefaultConfig("c1", 100), unionfs.NewLayer("c1-delta", false), shared)
+		c.FS().Write(p, "/data/props", 5*host.MB, nil, 1.0)
+		if got := c.DiskUsageBytes(); got != 5*host.MB {
+			t.Errorf("disk usage = %d MB, want 5 (private delta only)", got/host.MB)
+		}
+	})
+	e.Run()
+}
+
+func TestStateString(t *testing.T) {
+	if StateCreated.String() != "created" || StateRunning.String() != "running" || StateStopped.String() != "stopped" {
+		t.Fatal("State.String mismatch")
+	}
+}

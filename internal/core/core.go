@@ -1,0 +1,638 @@
+// Package core implements Rattrap, the lightweight container-based cloud
+// platform for mobile computation offloading (§IV), plus the two baseline
+// platforms the paper compares against. A Platform owns the cloud server,
+// its kernel, and a pool of code runtime environments, and serves devices
+// through the offload.Gateway interface:
+//
+//   - KindVM: the traditional cloud — Android-x86 VMs under a hypervisor;
+//   - KindRattrapWO: Rattrap without optimizations — plain Cloud Android
+//     Containers, full Android, exclusive offloading I/O, no code cache;
+//   - KindRattrap: the full design — customized OS, Shared Resource Layer
+//     (shared /system + shared in-memory offloading I/O), App Warehouse
+//     code cache, warehouse-aware dispatching, request-based access
+//     control.
+//
+// The Dispatcher allocates runtimes with warehouse affinity (requests from
+// an app go where its code is already loaded), boots new runtimes on
+// demand up to MaxRuntimes, and queues requests FIFO beyond that. The
+// Monitor & Scheduler's view lives in the Container DB.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"rattrap/internal/acd"
+	"rattrap/internal/android"
+	"rattrap/internal/container"
+	"rattrap/internal/host"
+	"rattrap/internal/image"
+	"rattrap/internal/kernel"
+	"rattrap/internal/offload"
+	"rattrap/internal/sim"
+	"rattrap/internal/unionfs"
+	"rattrap/internal/vm"
+	"rattrap/internal/workload"
+)
+
+// Kind selects the platform flavor.
+type Kind int
+
+// The three evaluated platforms.
+const (
+	KindVM Kind = iota
+	KindRattrapWO
+	KindRattrap
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindVM:
+		return "VM"
+	case KindRattrapWO:
+		return "Rattrap(W/O)"
+	case KindRattrap:
+		return "Rattrap"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Kinds returns the three platforms in the paper's comparison order.
+func Kinds() []Kind { return []Kind{KindRattrap, KindRattrapWO, KindVM} }
+
+// Config shapes a platform.
+type Config struct {
+	Kind Kind
+	// MaxRuntimes caps the runtime pool (5 in the paper's experiments).
+	MaxRuntimes int
+	// ViolationThreshold is the access controller's blocking threshold.
+	ViolationThreshold int
+	// KernelRelease is the host kernel version (ACD targets it).
+	KernelRelease string
+	// IdleTimeout, when positive, makes the Monitor & Scheduler reclaim
+	// runtimes idle for that long (freeing their memory and, for
+	// containers, unloading idle ACD modules). Pre-starting/keeping VMs
+	// "inevitably reduces server resource utilization" (§III-B);
+	// reclamation is what makes Rattrap's 2 s boot a just-in-time story.
+	IdleTimeout time.Duration
+}
+
+// DefaultConfig mirrors the paper's experimental setup.
+func DefaultConfig(kind Kind) Config {
+	return Config{Kind: kind, MaxRuntimes: 5, ViolationThreshold: 3, KernelRelease: "3.18.0"}
+}
+
+// Memory limits from Table I.
+const (
+	memLimitWO  = 128 // CAC (non-optimized)
+	memLimitOpt = 96  // CAC
+)
+
+// dispatcherConnect is the runtime→Dispatcher registration handshake after
+// boot; Table I's setup time includes it.
+const dispatcherConnect = 80 * time.Millisecond
+
+// ErrBlocked wraps access-controller rejections surfaced through Prepare.
+var ErrBlocked = errors.New("core: request rejected")
+
+// Platform is one cloud platform instance.
+type Platform struct {
+	E      *sim.Engine
+	Server *host.Host
+	Kernel *kernel.Kernel
+
+	cfg Config
+	reg *workload.Registry
+
+	db        *ContainerDB
+	access    *AccessController
+	warehouse *Warehouse // Rattrap only
+
+	fullManifest image.Manifest // VM disk
+	contManifest image.Manifest // container rootfs, full Android
+	custManifest image.Manifest // customized OS
+
+	sharedLayer *unionfs.Layer // Rattrap: Shared Resource Layer (/system)
+	offloadIO   *unionfs.Mount // Rattrap: shared in-memory offloading I/O
+
+	slots  []*slot
+	waitQ  []*waiter
+	nextID int
+}
+
+type slot struct {
+	id    string
+	env   android.Env
+	rt    *android.Runtime
+	ctr   *container.Container
+	vmach *vm.VM
+	busy  bool
+	info  *RuntimeInfo
+}
+
+type waiter struct {
+	sig *sim.Signal
+	sl  *slot
+}
+
+// New assembles a platform on a fresh cloud server.
+func New(e *sim.Engine, cfg Config) *Platform {
+	if cfg.MaxRuntimes <= 0 {
+		cfg.MaxRuntimes = 1
+	}
+	if cfg.KernelRelease == "" {
+		cfg.KernelRelease = "3.18.0"
+	}
+	srv := host.New(e, host.CloudServer())
+	pl := &Platform{
+		E:            e,
+		Server:       srv,
+		Kernel:       kernel.New(e, srv, cfg.KernelRelease),
+		cfg:          cfg,
+		reg:          workload.NewRegistry(),
+		db:           NewContainerDB(),
+		access:       NewAccessController(cfg.ViolationThreshold),
+		fullManifest: image.AndroidX86(),
+	}
+	pl.contManifest = pl.fullManifest.ForContainer()
+	pl.custManifest = pl.fullManifest.Customized()
+	if cfg.Kind == KindRattrap {
+		// Shared Resource Layer: the customized /system, stored once and
+		// mounted read-only under every container. Building it just wrote
+		// these files, so they start page-cached.
+		pl.sharedLayer = pl.custManifest.BuildLayer("shared-android", true)
+		pl.sharedLayer.WarmCacheOn(srv)
+		// Sharing Offloading I/O: one tmpfs layer for all containers.
+		tmp := unionfs.NewTmpfs("offload-io")
+		m, err := unionfs.NewMount(srv, "offload-io", tmp)
+		if err != nil {
+			panic(err) // static construction; cannot fail
+		}
+		pl.offloadIO = m
+		pl.warehouse = NewWarehouse(m)
+	}
+	return pl
+}
+
+// Config returns the platform configuration.
+func (pl *Platform) Config() Config { return pl.cfg }
+
+// DB exposes the Container DB (Monitor's view).
+func (pl *Platform) DB() *ContainerDB { return pl.db }
+
+// Warehouse returns the App Warehouse (nil for baselines).
+func (pl *Platform) Warehouse() *Warehouse { return pl.warehouse }
+
+// Access returns the access controller.
+func (pl *Platform) Access() *AccessController { return pl.access }
+
+// SharedLayer returns the Shared Resource Layer (nil for baselines).
+func (pl *Platform) SharedLayer() *unionfs.Layer { return pl.sharedLayer }
+
+// OffloadIO returns the shared in-memory offloading mount (nil for
+// baselines).
+func (pl *Platform) OffloadIO() *unionfs.Mount { return pl.offloadIO }
+
+// Registry returns the platform's workload registry (its "reflection"
+// dispatch table).
+func (pl *Platform) Registry() *workload.Registry { return pl.reg }
+
+// BootRuntime boots one runtime outside the request path (pool pre-warm
+// and Table I measurements).
+func (pl *Platform) BootRuntime(p *sim.Proc) (*RuntimeInfo, error) {
+	sl, err := pl.bootSlot(p)
+	if err != nil {
+		return nil, err
+	}
+	sl.busy = false
+	sl.info.Busy = false
+	return sl.info, nil
+}
+
+// bootSlot creates, boots, and registers a new runtime; the slot is
+// returned busy (reserved for the caller).
+func (pl *Platform) bootSlot(p *sim.Proc) (*slot, error) {
+	pl.nextID++
+	id := fmt.Sprintf("%s-%d", kindSlug(pl.cfg.Kind), pl.nextID)
+	sl := &slot{id: id, busy: true}
+	pl.slots = append(pl.slots, sl)
+	start := pl.E.Now()
+
+	fail := func(err error) (*slot, error) {
+		pl.removeSlot(sl)
+		return nil, fmt.Errorf("core: booting %s: %w", id, err)
+	}
+
+	switch pl.cfg.Kind {
+	case KindVM:
+		v, err := vm.Create(p, pl.Server, pl.E, vm.DefaultConfig(id), pl.fullManifest)
+		if err != nil {
+			return fail(err)
+		}
+		rt, err := android.Boot(p, v, v.BootConfig(pl.fullManifest))
+		if err != nil {
+			v.Destroy(p)
+			return fail(err)
+		}
+		sl.env, sl.rt, sl.vmach = v, rt, v
+
+	case KindRattrapWO, KindRattrap:
+		// Extend the host kernel on demand — no rebuild, no reboot.
+		if err := acd.LoadAll(p, pl.Kernel, pl.E); err != nil {
+			return fail(err)
+		}
+		var (
+			c   *container.Container
+			err error
+			bc  android.BootConfig
+		)
+		if pl.cfg.Kind == KindRattrapWO {
+			// Private full-Android rootfs, provisioned by copying the base
+			// image. The fresh copy's pages are page-cache resident, so —
+			// exactly like the measured 6.80 s — startup is CPU-bound; the
+			// 1.02 GB of disk is still charged per container.
+			rootfs := pl.contManifest.BuildLayer("rootfs:"+id, true)
+			rootfs.WarmCacheOn(pl.Server)
+			c, err = container.Create(p, pl.Server, pl.Kernel,
+				container.DefaultConfig(id, memLimitWO),
+				unionfs.NewLayer(id+"-delta", false), rootfs)
+			bc = android.BootConfig{Manifest: pl.contManifest}
+		} else {
+			c, err = container.Create(p, pl.Server, pl.Kernel,
+				container.DefaultConfig(id, memLimitOpt),
+				unionfs.NewLayer(id+"-delta", false), pl.sharedLayer)
+			bc = android.BootConfig{Manifest: pl.custManifest, Customized: true}
+		}
+		if err != nil {
+			return fail(err)
+		}
+		rt, err := android.Boot(p, c, bc)
+		if err != nil {
+			c.Stop(p)
+			return fail(err)
+		}
+		if pl.cfg.Kind == KindRattrap {
+			rt.SetOffloadFS(pl.offloadIO)
+		}
+		sl.env, sl.rt, sl.ctr = c, rt, c
+	default:
+		return fail(fmt.Errorf("unknown platform kind %v", pl.cfg.Kind))
+	}
+
+	// Register with the Dispatcher.
+	p.Sleep(dispatcherConnect)
+
+	sl.info = &RuntimeInfo{
+		CID:       sl.id,
+		Kind:      pl.cfg.Kind,
+		BootedAt:  pl.E.Now(),
+		BootTime:  (pl.E.Now() - start).Duration(),
+		MemMB:     pl.slotMemMB(sl),
+		DiskBytes: pl.slotDiskBytes(sl),
+		Processes: len(sl.rt.Processes()),
+		Busy:      true,
+		LastUsed:  pl.E.Now(),
+	}
+	pl.db.Put(sl.info)
+	return sl, nil
+}
+
+func kindSlug(k Kind) string {
+	switch k {
+	case KindVM:
+		return "vm"
+	case KindRattrapWO:
+		return "cac-wo"
+	default:
+		return "cac"
+	}
+}
+
+func (pl *Platform) slotMemMB(sl *slot) int {
+	if sl.vmach != nil {
+		return sl.vmach.MemReservedMB()
+	}
+	return sl.rt.MemMB()
+}
+
+func (pl *Platform) slotDiskBytes(sl *slot) host.Bytes {
+	switch {
+	case sl.vmach != nil:
+		return sl.vmach.DiskUsageBytes()
+	case pl.cfg.Kind == KindRattrapWO:
+		// Private rootfs copy plus the writable delta.
+		var rootfs host.Bytes
+		for _, l := range sl.ctr.FS().Layers()[1:] {
+			rootfs += l.Size()
+		}
+		return rootfs + sl.ctr.DiskUsageBytes()
+	default:
+		// Optimized CAC: only the private delta; the Shared Resource
+		// Layer is charged once, platform-wide.
+		return sl.ctr.DiskUsageBytes()
+	}
+}
+
+func (pl *Platform) removeSlot(sl *slot) {
+	for i, s := range pl.slots {
+		if s == sl {
+			pl.slots = append(pl.slots[:i], pl.slots[i+1:]...)
+			break
+		}
+	}
+	if sl.info != nil {
+		pl.db.Remove(sl.id)
+	}
+}
+
+// acquireSlot implements the Dispatcher's allocation policy.
+func (pl *Platform) acquireSlot(p *sim.Proc, aid string) (*slot, error) {
+	// 1. Idle runtime that already loaded this code (cache-table CID
+	//    affinity: "saves the time for loading codes").
+	for _, sl := range pl.slots {
+		if !sl.busy && sl.rt != nil && sl.rt.CodeLoaded(aid) {
+			sl.busy = true
+			sl.info.Busy = true
+			return sl, nil
+		}
+	}
+	// 2. Any idle runtime.
+	for _, sl := range pl.slots {
+		if !sl.busy && sl.rt != nil {
+			sl.busy = true
+			sl.info.Busy = true
+			return sl, nil
+		}
+	}
+	// 3. Grow the pool.
+	if len(pl.slots) < pl.cfg.MaxRuntimes {
+		return pl.bootSlot(p)
+	}
+	// 4. Queue FIFO for the next release.
+	w := &waiter{sig: sim.NewSignal(pl.E)}
+	pl.waitQ = append(pl.waitQ, w)
+	p.Wait(w.sig)
+	if w.sl == nil {
+		return nil, errors.New("core: dispatcher queue aborted")
+	}
+	return w.sl, nil
+}
+
+func (pl *Platform) releaseSlot(sl *slot) {
+	sl.info.LastUsed = pl.E.Now()
+	if len(pl.waitQ) > 0 {
+		w := pl.waitQ[0]
+		pl.waitQ = pl.waitQ[1:]
+		w.sl = sl // hand the slot over while still busy
+		w.sig.Fire()
+		return
+	}
+	sl.busy = false
+	sl.info.Busy = false
+	if pl.cfg.IdleTimeout > 0 {
+		pl.scheduleReap(sl, sl.info.LastUsed)
+	}
+}
+
+// scheduleReap arms a reclamation check for a slot that just went idle.
+// The check fires IdleTimeout later and stops the runtime only if it is
+// still the same slot, still idle, and untouched since.
+func (pl *Platform) scheduleReap(sl *slot, asOf sim.Time) {
+	pl.E.After(pl.cfg.IdleTimeout, func() {
+		present := false
+		for _, s := range pl.slots {
+			if s == sl {
+				present = true
+				break
+			}
+		}
+		if !present || sl.busy || sl.info.LastUsed != asOf {
+			return
+		}
+		pl.E.Spawn("reap:"+sl.id, func(p *sim.Proc) {
+			// Re-check: the slot may have been claimed between the event
+			// firing and the proc starting.
+			if sl.busy || sl.info.LastUsed != asOf {
+				return
+			}
+			_ = pl.StopRuntime(p, sl.id)
+		})
+	})
+}
+
+// Prepare implements offload.Gateway: access-control analysis, then
+// Dispatcher allocation (booting a runtime if needed — the runtime-
+// preparation phase the device observes).
+func (pl *Platform) Prepare(p *sim.Proc, req offload.ExecRequest) (offload.Session, error) {
+	tbl := pl.access.Analyze(p, pl.Server, req.App, grantedFor(req.App, req.FileBytes))
+	if tbl.Blocked {
+		return nil, fmt.Errorf("%w: %s: %w", ErrBlocked, req.App, ErrAppBlocked)
+	}
+	sl, err := pl.acquireSlot(p, req.AID)
+	if err != nil {
+		return nil, err
+	}
+	s := &session{pl: pl, sl: sl, req: req}
+	s.needCode = !sl.rt.CodeLoaded(req.AID)
+	if s.needCode && pl.warehouse != nil {
+		switch {
+		case pl.warehouse.Has(req.AID):
+			s.needCode = false // warehouse hit: load locally, no transfer
+		default:
+			if sig, inflight := pl.warehouse.Inflight(req.AID); inflight {
+				// Another device is pushing this code right now; wait for
+				// it instead of transferring a duplicate.
+				s.needCode = false
+				s.waitPush = sig
+			} else {
+				pl.warehouse.Claim(pl.E, req.AID) // this session pushes
+				s.claimed = true
+			}
+		}
+	}
+	return s, nil
+}
+
+// session binds one request to a prepared runtime.
+type session struct {
+	pl       *Platform
+	sl       *slot
+	req      offload.ExecRequest
+	needCode bool
+	released bool
+	pushed   bool
+	claimed  bool        // this session owns the in-flight push for its AID
+	waitPush *sim.Signal // fires when another session's push lands
+}
+
+// NeedCode reports whether the device must transfer the mobile code.
+func (s *session) NeedCode() bool { return s.needCode }
+
+// PushCode receives the code blob: Rattrap stages it in the App Warehouse
+// ("once and for all"), everyone loads it into the runtime's ClassLoader.
+func (s *session) PushCode(p *sim.Proc, push offload.CodePush) error {
+	if push.AID != s.req.AID {
+		return fmt.Errorf("core: code push AID %s does not match request %s", push.AID, s.req.AID)
+	}
+	if s.pl.warehouse != nil {
+		if err := s.pl.warehouse.Put(p, push.AID, push.App, push.Size); err != nil {
+			return err
+		}
+		s.pl.warehouse.settle(push.AID)
+	}
+	if err := s.sl.rt.LoadCode(p, push.AID, push.Size, false); err != nil {
+		return err
+	}
+	if s.pl.warehouse != nil {
+		s.pl.warehouse.BindCID(push.AID, s.sl.id)
+	}
+	s.sl.info.Traffic.CodeUp += push.Size
+	s.pushed = true
+	return nil
+}
+
+// Execute runs the task, enforcing the permission table on each workflow
+// that leaves the container.
+func (s *session) Execute(p *sim.Proc) (offload.Result, error) {
+	pl, sl, req := s.pl, s.sl, s.req
+	// Warehouse-sourced code load (no device transfer happened).
+	if !sl.rt.CodeLoaded(req.AID) {
+		if pl.warehouse == nil {
+			return offload.Result{}, fmt.Errorf("core: %s: code %s missing and no warehouse", sl.id, req.AID)
+		}
+		if s.waitPush != nil && !s.waitPush.Fired() {
+			p.Wait(s.waitPush) // the concurrent first push is in flight
+		}
+		entry, ok := pl.warehouse.Lookup(req.AID)
+		if !ok {
+			return offload.Result{}, fmt.Errorf("core: %s: warehouse lost %s", sl.id, req.AID)
+		}
+		if err := sl.rt.LoadCode(p, req.AID, entry.Size, true); err != nil {
+			return offload.Result{}, err
+		}
+		pl.warehouse.BindCID(req.AID, sl.id)
+	}
+
+	// Request-based access control on the workflows this task performs.
+	checks := []Permission{PermExec, PermBinder}
+	if req.FileBytes > 0 {
+		checks = append(checks, PermFSWrite, PermFSRead)
+	}
+	for _, op := range checks {
+		if err := pl.access.Check(req.App, op); err != nil {
+			return offload.Result{Err: err.Error()}, nil
+		}
+	}
+
+	task := workload.Task{
+		App: req.App, Method: req.Method, Seq: req.Seq, Params: req.Params,
+		ParamBytes: req.ParamBytes, FileBytes: req.FileBytes,
+		RoundTrips: req.RoundTrips, InteractBytes: req.InteractBytes,
+	}
+	res, err := sl.rt.Execute(p, req.AID, task, pl.reg)
+	if err != nil {
+		return offload.Result{Err: err.Error()}, nil
+	}
+
+	sl.info.Executed++
+	sl.info.MemMB = pl.slotMemMB(sl)
+	sl.info.DiskBytes = pl.slotDiskBytes(sl)
+	sl.info.Traffic.FileParamUp += req.ParamBytes + req.FileBytes
+	sl.info.Traffic.ControlUp += offload.ControlBytes
+	sl.info.Traffic.Down += res.Metrics.ResultBytes + offload.ControlBytes
+	return offload.Result{Output: res.Metrics.Output, ResultBytes: res.Metrics.ResultBytes}, nil
+}
+
+// Release returns the runtime to the pool (or hands it to a queued
+// request).
+func (s *session) Release() {
+	if s.released {
+		return
+	}
+	s.released = true
+	if s.claimed && !s.pushed && s.pl.warehouse != nil {
+		// The owning device never delivered the code (error/abort): wake
+		// any waiters so they fail fast instead of hanging on the signal.
+		s.pl.warehouse.settle(s.req.AID)
+	}
+	s.pl.releaseSlot(s.sl)
+}
+
+// StopRuntime shuts one runtime down and reclaims its resources; when the
+// last container stops, the Android Container Driver modules are unloaded
+// ("to avoid wasting memory").
+func (pl *Platform) StopRuntime(p *sim.Proc, cid string) error {
+	var sl *slot
+	for _, s := range pl.slots {
+		if s.id == cid {
+			sl = s
+			break
+		}
+	}
+	if sl == nil {
+		return fmt.Errorf("core: no runtime %s", cid)
+	}
+	if sl.busy {
+		return fmt.Errorf("core: runtime %s is busy", cid)
+	}
+	sl.rt.Shutdown()
+	switch {
+	case sl.vmach != nil:
+		if err := sl.vmach.Destroy(p); err != nil {
+			return err
+		}
+	case sl.ctr != nil:
+		if err := sl.ctr.Stop(p); err != nil {
+			return err
+		}
+	}
+	if pl.warehouse != nil {
+		pl.warehouse.UnbindCID(sl.id)
+	}
+	pl.removeSlot(sl)
+	if pl.cfg.Kind != KindVM && len(pl.slots) == 0 {
+		_ = acd.UnloadAll(pl.Kernel) // best effort; fails only if still referenced
+	}
+	return nil
+}
+
+// StopAll stops every idle runtime.
+func (pl *Platform) StopAll(p *sim.Proc) error {
+	for _, sl := range append([]*slot(nil), pl.slots...) {
+		if err := pl.StopRuntime(p, sl.id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RuntimeFS returns a runtime's filesystem view (access-profile
+// measurements like Observation 4 inspect its layers).
+func (pl *Platform) RuntimeFS(cid string) (*unionfs.Mount, bool) {
+	for _, sl := range pl.slots {
+		if sl.id == cid && sl.env != nil {
+			return sl.env.FS(), true
+		}
+	}
+	return nil, false
+}
+
+// RuntimeCount returns the pool size.
+func (pl *Platform) RuntimeCount() int { return len(pl.slots) }
+
+// QueueLength returns how many requests wait for a runtime.
+func (pl *Platform) QueueLength() int { return len(pl.waitQ) }
+
+// TotalDiskBytes is the platform's storage bill: every runtime's private
+// data plus shared structures charged once.
+func (pl *Platform) TotalDiskBytes() host.Bytes {
+	var t host.Bytes
+	for _, sl := range pl.slots {
+		t += pl.slotDiskBytes(sl)
+	}
+	if pl.sharedLayer != nil {
+		t += pl.sharedLayer.Size()
+	}
+	return t
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"rattrap/internal/host"
+	"rattrap/internal/offload"
+	"rattrap/internal/sim"
+)
+
+// RuntimeInfo is one Container DB record: the platform's bookkeeping for a
+// code runtime environment, the basis of resource management and of the
+// Monitor & Scheduler's process-level decisions.
+type RuntimeInfo struct {
+	CID       string
+	Kind      Kind
+	BootedAt  sim.Time
+	BootTime  time.Duration
+	MemMB     int
+	DiskBytes host.Bytes
+	Executed  int
+	Busy      bool
+	LastUsed  sim.Time
+	Processes int
+	// Traffic is the migrated data this runtime received/sent, by kind —
+	// the per-VM composition of Figure 3.
+	Traffic offload.Traffic
+}
+
+// ContainerDB stores information about live runtimes.
+type ContainerDB struct {
+	rows map[string]*RuntimeInfo
+}
+
+// NewContainerDB returns an empty database.
+func NewContainerDB() *ContainerDB {
+	return &ContainerDB{rows: make(map[string]*RuntimeInfo)}
+}
+
+// Put inserts or replaces a record.
+func (db *ContainerDB) Put(info *RuntimeInfo) { db.rows[info.CID] = info }
+
+// Get returns a record by CID.
+func (db *ContainerDB) Get(cid string) (*RuntimeInfo, bool) {
+	r, ok := db.rows[cid]
+	return r, ok
+}
+
+// Remove deletes a record.
+func (db *ContainerDB) Remove(cid string) { delete(db.rows, cid) }
+
+// List returns all records sorted by CID for deterministic iteration.
+func (db *ContainerDB) List() []*RuntimeInfo {
+	out := make([]*RuntimeInfo, 0, len(db.rows))
+	for _, r := range db.rows {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].CID < out[j].CID })
+	return out
+}
+
+// Count returns the number of live runtimes.
+func (db *ContainerDB) Count() int { return len(db.rows) }
+
+// Snapshot is the Monitor's view of the platform for schedulers and the
+// harness.
+type Snapshot struct {
+	Runtimes     []*RuntimeInfo
+	TotalMemMB   int
+	TotalDisk    host.Bytes
+	TotalExec    int
+	BusyRuntimes int
+}
+
+// Snapshot aggregates the database.
+func (db *ContainerDB) Snapshot() Snapshot {
+	s := Snapshot{Runtimes: db.List()}
+	for _, r := range s.Runtimes {
+		s.TotalMemMB += r.MemMB
+		s.TotalDisk += r.DiskBytes
+		s.TotalExec += r.Executed
+		if r.Busy {
+			s.BusyRuntimes++
+		}
+	}
+	return s
+}

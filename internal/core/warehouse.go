@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"rattrap/internal/host"
+	"rattrap/internal/sim"
+	"rattrap/internal/unionfs"
+)
+
+// cacheEntry is one row of the warehouse's cache table (Figure 8): the
+// code's AID, its reference (app name), where the blob is staged, and the
+// containers that already loaded it (CIDs) so the Dispatcher can route
+// same-app requests to a runtime that skips code loading.
+type cacheEntry struct {
+	AID  string
+	App  string
+	Size host.Bytes
+	Path string
+	CIDs map[string]bool
+	Hits int
+}
+
+// Warehouse is the App Warehouse (§IV-D): the mobile code cache that
+// eliminates duplicate code transfer. Code arrives once — with an app's
+// first offloading request, "once and for all" — and later requests
+// reference it by AID instead of re-uploading.
+type Warehouse struct {
+	store   *unionfs.Mount
+	entries map[string]*cacheEntry
+	pending map[string]*sim.Signal // in-flight first pushes, by AID
+	misses  int
+}
+
+// NewWarehouse creates a warehouse staging blobs on store (the shared
+// in-memory offloading layer in Rattrap).
+func NewWarehouse(store *unionfs.Mount) *Warehouse {
+	return &Warehouse{
+		store:   store,
+		entries: make(map[string]*cacheEntry),
+		pending: make(map[string]*sim.Signal),
+	}
+}
+
+// Inflight reports whether another session is already transferring this
+// code, returning the signal that fires when the push lands. Concurrent
+// first requests from several devices would otherwise all push the same
+// code; the paper's "once and for all" admits exactly one transfer.
+func (w *Warehouse) Inflight(aid string) (*sim.Signal, bool) {
+	sig, ok := w.pending[aid]
+	return sig, ok
+}
+
+// Claim marks this session as the one pushing aid; later sessions see it
+// via Inflight and wait instead of re-uploading.
+func (w *Warehouse) Claim(e *sim.Engine, aid string) {
+	if _, ok := w.pending[aid]; !ok {
+		w.pending[aid] = sim.NewSignal(e)
+	}
+}
+
+// settle fires and clears a pending claim (after Put, or on abort).
+func (w *Warehouse) settle(aid string) {
+	if sig, ok := w.pending[aid]; ok {
+		delete(w.pending, aid)
+		sig.Fire()
+	}
+}
+
+// Has reports whether the AID is cached, recording a hit or miss.
+func (w *Warehouse) Has(aid string) bool {
+	if e, ok := w.entries[aid]; ok {
+		e.Hits++
+		return true
+	}
+	w.misses++
+	return false
+}
+
+// Lookup returns the cache entry without touching hit statistics.
+func (w *Warehouse) Lookup(aid string) (*cacheEntry, bool) {
+	e, ok := w.entries[aid]
+	return e, ok
+}
+
+// Put stages newly received code, blocking p for the store write.
+func (w *Warehouse) Put(p *sim.Proc, aid, app string, size host.Bytes) error {
+	if _, ok := w.entries[aid]; ok {
+		return nil // concurrent push of the same code: keep the first
+	}
+	path := "/warehouse/" + aid + ".apk"
+	if err := w.store.Write(p, path, size, nil, 1.0); err != nil {
+		return fmt.Errorf("core: warehouse put %s: %w", aid, err)
+	}
+	w.entries[aid] = &cacheEntry{AID: aid, App: app, Size: size, Path: path, CIDs: make(map[string]bool)}
+	return nil
+}
+
+// BindCID records that a container loaded the code (the AID→CID mapping
+// the Dispatcher uses for affinity).
+func (w *Warehouse) BindCID(aid, cid string) {
+	if e, ok := w.entries[aid]; ok {
+		e.CIDs[cid] = true
+	}
+}
+
+// UnbindCID removes a stopped container from all entries.
+func (w *Warehouse) UnbindCID(cid string) {
+	for _, e := range w.entries {
+		delete(e.CIDs, cid)
+	}
+}
+
+// CIDsFor returns containers holding the code, sorted for determinism.
+func (w *Warehouse) CIDsFor(aid string) []string {
+	e, ok := w.entries[aid]
+	if !ok {
+		return nil
+	}
+	out := make([]string, 0, len(e.CIDs))
+	for cid := range e.CIDs {
+		out = append(out, cid)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats summarizes cache behaviour.
+func (w *Warehouse) Stats() (entries, hits, misses int) {
+	for _, e := range w.entries {
+		hits += e.Hits
+	}
+	return len(w.entries), hits, w.misses
+}
+
+// StoredBytes is the total staged code volume.
+func (w *Warehouse) StoredBytes() host.Bytes {
+	var t host.Bytes
+	for _, e := range w.entries {
+		t += e.Size
+	}
+	return t
+}

@@ -1,0 +1,209 @@
+package host
+
+import (
+	"testing"
+	"time"
+
+	"rattrap/internal/sim"
+)
+
+func TestComputeDuration(t *testing.T) {
+	e := sim.NewEngine(1)
+	h := New(e, Config{Name: "m", Cores: 2, CoreMops: 100, MemMB: 1024, DiskSeqMBps: 100, DiskRandIOPS: 100, MemBWMBps: 1000})
+	var done sim.Time
+	e.Spawn("w", func(p *sim.Proc) {
+		h.Compute(p, 200, 1.0) // 200 mops at 100 mops/s = 2s
+		done = e.Now()
+	})
+	e.Run()
+	if done != sim.Time(2*time.Second) {
+		t.Fatalf("compute took %v, want 2s", done)
+	}
+}
+
+func TestComputeEfficiency(t *testing.T) {
+	e := sim.NewEngine(1)
+	h := New(e, Config{Name: "m", Cores: 1, CoreMops: 100, MemMB: 1024, DiskSeqMBps: 100, DiskRandIOPS: 100, MemBWMBps: 1000})
+	var done sim.Time
+	e.Spawn("w", func(p *sim.Proc) {
+		h.Compute(p, 100, 0.5) // half speed -> 2s
+		done = e.Now()
+	})
+	e.Run()
+	if done != sim.Time(2*time.Second) {
+		t.Fatalf("compute took %v, want 2s", done)
+	}
+}
+
+func TestCPUContention(t *testing.T) {
+	// 3 single-core 1s jobs on 2 cores: makespan 2s, not 1s or 3s.
+	e := sim.NewEngine(1)
+	h := New(e, Config{Name: "m", Cores: 2, CoreMops: 100, MemMB: 1024, DiskSeqMBps: 100, DiskRandIOPS: 100, MemBWMBps: 1000})
+	var last sim.Time
+	for i := 0; i < 3; i++ {
+		e.Spawn("w", func(p *sim.Proc) {
+			h.Compute(p, 100, 1.0)
+			if e.Now() > last {
+				last = e.Now()
+			}
+		})
+	}
+	e.Run()
+	if last != sim.Time(2*time.Second) {
+		t.Fatalf("makespan %v, want 2s", last)
+	}
+}
+
+func TestDiskSequentialAndRandom(t *testing.T) {
+	e := sim.NewEngine(1)
+	h := New(e, Config{Name: "m", Cores: 1, CoreMops: 100, MemMB: 1024, DiskSeqMBps: 100, DiskRandIOPS: 100, MemBWMBps: 1000})
+	var seq, rnd time.Duration
+	e.Spawn("w", func(p *sim.Proc) {
+		t0 := e.Now()
+		h.DiskRead(p, "", 200*MB, true, 1.0) // 200MB at 100MB/s = 2s
+		seq = (e.Now() - t0).Duration()
+		t0 = e.Now()
+		h.DiskRead(p, "", 400*KB, false, 1.0) // 100 random 4K ops at 100 IOPS = 1s
+		rnd = (e.Now() - t0).Duration()
+	})
+	e.Run()
+	if seq != 2*time.Second {
+		t.Fatalf("sequential read took %v, want 2s", seq)
+	}
+	if rnd != time.Second {
+		t.Fatalf("random read took %v, want 1s", rnd)
+	}
+}
+
+func TestPageCache(t *testing.T) {
+	e := sim.NewEngine(1)
+	h := New(e, CloudServer())
+	var cold, warm time.Duration
+	e.Spawn("w", func(p *sim.Proc) {
+		t0 := e.Now()
+		h.DiskRead(p, "system.img", 110*MB, true, 1.0)
+		cold = (e.Now() - t0).Duration()
+		t0 = e.Now()
+		h.DiskRead(p, "system.img", 110*MB, true, 1.0)
+		warm = (e.Now() - t0).Duration()
+	})
+	e.Run()
+	if !h.Cached("system.img") {
+		t.Fatal("file not cached after read")
+	}
+	if warm >= cold/10 {
+		t.Fatalf("cached read %v not much faster than cold %v", warm, cold)
+	}
+}
+
+func TestDropCaches(t *testing.T) {
+	e := sim.NewEngine(1)
+	h := New(e, CloudServer())
+	h.WarmCache("f", 10*MB)
+	if !h.Cached("f") {
+		t.Fatal("WarmCache did not cache")
+	}
+	h.DropCaches()
+	if h.Cached("f") {
+		t.Fatal("DropCaches left file cached")
+	}
+}
+
+func TestMemAccounting(t *testing.T) {
+	e := sim.NewEngine(1)
+	h := New(e, Config{Name: "m", Cores: 1, CoreMops: 100, MemMB: 1000, DiskSeqMBps: 100, DiskRandIOPS: 100, MemBWMBps: 1000})
+	if err := h.AllocMem(600); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AllocMem(600); err == nil {
+		t.Fatal("overcommit allocation succeeded")
+	}
+	if err := h.AllocMem(400); err != nil {
+		t.Fatal(err)
+	}
+	h.FreeMem(500)
+	if h.MemUsedMB() != 500 {
+		t.Fatalf("used = %d, want 500", h.MemUsedMB())
+	}
+	if h.MemPeakMB() != 1000 {
+		t.Fatalf("peak = %d, want 1000", h.MemPeakMB())
+	}
+}
+
+func TestCPUUtilizationTimeline(t *testing.T) {
+	e := sim.NewEngine(1)
+	h := New(e, Config{Name: "m", Cores: 4, CoreMops: 100, MemMB: 1024, DiskSeqMBps: 100, DiskRandIOPS: 100, MemBWMBps: 1000})
+	// Two cores busy for the first 2 seconds.
+	for i := 0; i < 2; i++ {
+		e.Spawn("w", func(p *sim.Proc) { h.Compute(p, 200, 1.0) })
+	}
+	e.Spawn("idle", func(p *sim.Proc) { p.Sleep(4 * time.Second) })
+	e.Run()
+	u := h.CPUUtilization(0, sim.Time(4*time.Second), time.Second)
+	if u[0] != 50 || u[1] != 50 {
+		t.Fatalf("util[0:2] = %v, want 50%%", u[:2])
+	}
+	if u[2] != 0 || u[3] != 0 {
+		t.Fatalf("util[2:4] = %v, want 0%%", u[2:])
+	}
+}
+
+func TestDiskTimeline(t *testing.T) {
+	e := sim.NewEngine(1)
+	h := New(e, Config{Name: "m", Cores: 1, CoreMops: 100, MemMB: 1024, DiskSeqMBps: 100, DiskRandIOPS: 100, MemBWMBps: 1000})
+	e.Spawn("w", func(p *sim.Proc) {
+		h.DiskRead(p, "", 300*MB, true, 1.0) // 3s at 100MB/s
+	})
+	e.Run()
+	rates := h.DiskReadMBps(0, sim.Time(3*time.Second), time.Second)
+	for i, r := range rates {
+		if r < 90 || r > 110 {
+			t.Fatalf("read rate bucket %d = %v MB/s, want ~100", i, r)
+		}
+	}
+}
+
+func TestDiskFIFOContention(t *testing.T) {
+	e := sim.NewEngine(1)
+	h := New(e, Config{Name: "m", Cores: 1, CoreMops: 100, MemMB: 1024, DiskSeqMBps: 100, DiskRandIOPS: 100, MemBWMBps: 1000})
+	var ends []sim.Time
+	for i := 0; i < 2; i++ {
+		e.Spawn("w", func(p *sim.Proc) {
+			h.DiskRead(p, "", 100*MB, true, 1.0)
+			ends = append(ends, e.Now())
+		})
+	}
+	e.Run()
+	if ends[0] != sim.Time(time.Second) || ends[1] != sim.Time(2*time.Second) {
+		t.Fatalf("ends = %v, want serialized [1s 2s]", ends)
+	}
+}
+
+func TestMemCopyFasterThanDisk(t *testing.T) {
+	e := sim.NewEngine(1)
+	h := New(e, CloudServer())
+	var mem, dsk time.Duration
+	e.Spawn("w", func(p *sim.Proc) {
+		t0 := e.Now()
+		h.MemCopy(p, 100*MB)
+		mem = (e.Now() - t0).Duration()
+		t0 = e.Now()
+		h.DiskRead(p, "", 100*MB, true, 1.0)
+		dsk = (e.Now() - t0).Duration()
+	})
+	e.Run()
+	if mem >= dsk {
+		t.Fatalf("memcopy %v not faster than disk %v", mem, dsk)
+	}
+}
+
+func TestConfigs(t *testing.T) {
+	s := CloudServer()
+	if s.Cores != 12 || s.MemMB != 16384 {
+		t.Fatalf("CloudServer = %+v, want 12 cores / 16 GB", s)
+	}
+	d := MobileDevice("phone-1")
+	if d.CoreMops >= s.CoreMops {
+		t.Fatal("mobile core should be slower than server core")
+	}
+}

@@ -1,0 +1,204 @@
+package kernel
+
+import (
+	"errors"
+	"testing"
+
+	"rattrap/internal/host"
+	"rattrap/internal/sim"
+)
+
+func newHarness() (*sim.Engine, *Kernel) {
+	e := sim.NewEngine(1)
+	h := host.New(e, host.CloudServer())
+	return e, New(e, h, "3.18.0")
+}
+
+func binderLikeModule() *Module {
+	return &Module{
+		Name:     "test_binder",
+		VerMagic: "3.18.0",
+		SizeKB:   180,
+		LoadCost: 4,
+		Devices: []DeviceSpec{
+			{Name: "/dev/binder", Namespaced: true, New: func() any { return map[string]int{} }},
+		},
+	}
+}
+
+func TestLoadProvidesDevice(t *testing.T) {
+	e, k := newHarness()
+	e.Spawn("init", func(p *sim.Proc) {
+		if k.HasDevice("/dev/binder") {
+			t.Error("device present before load")
+		}
+		if err := k.Load(p, binderLikeModule()); err != nil {
+			t.Error(err)
+		}
+		if !k.HasDevice("/dev/binder") || !k.Loaded("test_binder") {
+			t.Error("device or module missing after load")
+		}
+	})
+	e.Run()
+}
+
+func TestVersionMagicMismatch(t *testing.T) {
+	e, k := newHarness()
+	e.Spawn("init", func(p *sim.Proc) {
+		m := binderLikeModule()
+		m.VerMagic = "4.4.0"
+		if err := k.Load(p, m); !errors.Is(err, ErrVersionMagic) {
+			t.Errorf("err = %v, want ErrVersionMagic", err)
+		}
+	})
+	e.Run()
+}
+
+func TestDoubleLoad(t *testing.T) {
+	e, k := newHarness()
+	e.Spawn("init", func(p *sim.Proc) {
+		k.Load(p, binderLikeModule())
+		if err := k.Load(p, binderLikeModule()); !errors.Is(err, ErrModuleLoaded) {
+			t.Errorf("err = %v, want ErrModuleLoaded", err)
+		}
+	})
+	e.Run()
+}
+
+func TestOpenWithoutModuleIsENODEV(t *testing.T) {
+	e, k := newHarness()
+	ns := k.NewNamespace("c1")
+	e.Spawn("init", func(p *sim.Proc) {
+		if _, err := k.Open(ns, "/dev/binder"); !errors.Is(err, ErrNoDevice) {
+			t.Errorf("err = %v, want ErrNoDevice", err)
+		}
+	})
+	e.Run()
+}
+
+func TestNamespaceIsolation(t *testing.T) {
+	e, k := newHarness()
+	ns1, ns2 := k.NewNamespace("c1"), k.NewNamespace("c2")
+	e.Spawn("init", func(p *sim.Proc) {
+		if err := k.Load(p, binderLikeModule()); err != nil {
+			t.Fatal(err)
+		}
+		h1, err := k.Open(ns1, "/dev/binder")
+		if err != nil {
+			t.Fatal(err)
+		}
+		h2, err := k.Open(ns2, "/dev/binder")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Distinct per-namespace state.
+		h1.State().(map[string]int)["svc"] = 1
+		if len(h2.State().(map[string]int)) != 0 {
+			t.Error("namespaces share driver state")
+		}
+		// Same namespace reopens the same state.
+		h1b, _ := k.Open(ns1, "/dev/binder")
+		if len(h1b.State().(map[string]int)) != 1 {
+			t.Error("reopen in same namespace lost state")
+		}
+	})
+	e.Run()
+}
+
+func TestSharedDeviceState(t *testing.T) {
+	e, k := newHarness()
+	m := &Module{
+		Name: "test_ashmem", VerMagic: "3.18.0", SizeKB: 28,
+		Devices: []DeviceSpec{{Name: "/dev/ashmem", Namespaced: false, New: func() any { return map[string]int{} }}},
+	}
+	ns1, ns2 := k.NewNamespace("c1"), k.NewNamespace("c2")
+	e.Spawn("init", func(p *sim.Proc) {
+		k.Load(p, m)
+		h1, _ := k.Open(ns1, "/dev/ashmem")
+		h2, _ := k.Open(ns2, "/dev/ashmem")
+		h1.State().(map[string]int)["region"] = 1
+		if h2.State().(map[string]int)["region"] != 1 {
+			t.Error("non-namespaced device state not shared")
+		}
+	})
+	e.Run()
+}
+
+func TestUnloadRefcounting(t *testing.T) {
+	e, k := newHarness()
+	ns := k.NewNamespace("c1")
+	e.Spawn("init", func(p *sim.Proc) {
+		k.Load(p, binderLikeModule())
+		h, _ := k.Open(ns, "/dev/binder")
+		if err := k.Unload("test_binder"); !errors.Is(err, ErrModuleInUse) {
+			t.Errorf("unload with open handle: err = %v, want ErrModuleInUse", err)
+		}
+		if err := h.Close(); err != nil {
+			t.Error(err)
+		}
+		if err := h.Close(); err == nil {
+			t.Error("double close succeeded")
+		}
+		if err := k.Unload("test_binder"); err != nil {
+			t.Errorf("unload after close: %v", err)
+		}
+		if k.HasDevice("/dev/binder") {
+			t.Error("device survives unload")
+		}
+		if k.ModuleMemKB() != 0 {
+			t.Errorf("module memory = %d KB after unload", k.ModuleMemKB())
+		}
+	})
+	e.Run()
+}
+
+func TestUnloadMissing(t *testing.T) {
+	_, k := newHarness()
+	if err := k.Unload("ghost"); !errors.Is(err, ErrNoModule) {
+		t.Fatalf("err = %v, want ErrNoModule", err)
+	}
+}
+
+func TestDeviceCollision(t *testing.T) {
+	e, k := newHarness()
+	e.Spawn("init", func(p *sim.Proc) {
+		k.Load(p, binderLikeModule())
+		clash := &Module{Name: "other", VerMagic: "3.18.0", SizeKB: 1,
+			Devices: []DeviceSpec{{Name: "/dev/binder"}}}
+		if err := k.Load(p, clash); !errors.Is(err, ErrDeviceExists) {
+			t.Errorf("err = %v, want ErrDeviceExists", err)
+		}
+	})
+	e.Run()
+}
+
+func TestLsmodAndMemory(t *testing.T) {
+	e, k := newHarness()
+	e.Spawn("init", func(p *sim.Proc) {
+		k.Load(p, binderLikeModule())
+		m2 := &Module{Name: "alpha", VerMagic: "3.18.0", SizeKB: 20}
+		k.Load(p, m2)
+		ls := k.Lsmod()
+		if len(ls) != 2 || ls[0] != "alpha" || ls[1] != "test_binder" {
+			t.Errorf("lsmod = %v", ls)
+		}
+		if k.ModuleMemKB() != 200 {
+			t.Errorf("module mem = %d KB, want 200", k.ModuleMemKB())
+		}
+	})
+	e.Run()
+}
+
+func TestLoadTakesTime(t *testing.T) {
+	e, k := newHarness()
+	var took sim.Time
+	e.Spawn("init", func(p *sim.Proc) {
+		t0 := e.Now()
+		k.Load(p, binderLikeModule())
+		took = e.Now() - t0
+	})
+	e.Run()
+	if took <= 0 {
+		t.Fatal("module load was instantaneous")
+	}
+}

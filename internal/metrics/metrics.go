@@ -1,0 +1,251 @@
+// Package metrics provides the statistics and rendering helpers shared by
+// the experiment harness: means, percentiles, CDFs (Figure 11), and plain-
+// text tables matching the paper's presentation.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Sum returns the total.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Min returns the smallest value (NaN for an empty slice).
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest value (NaN for an empty slice).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) using nearest-rank
+// on a sorted copy.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("metrics: percentile %v out of range", p))
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p == 0 {
+		return s[0]
+	}
+	rank := int(math.Ceil(p/100*float64(len(s)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(s) {
+		rank = len(s) - 1
+	}
+	return s[rank]
+}
+
+// CDF is an empirical cumulative distribution.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds a CDF over the samples.
+func NewCDF(xs []float64) CDF {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return CDF{sorted: s}
+}
+
+// At returns P(X ≤ x).
+func (c CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.sorted))
+}
+
+// FractionAbove returns P(X > x) — e.g. "54.0% of requests get speedup
+// higher than 3.0x".
+func (c CDF) FractionAbove(x float64) float64 { return 1 - c.At(x) }
+
+// FractionBelow returns P(X < x) — e.g. the offloading-failure rate
+// P(speedup < 1).
+func (c CDF) FractionBelow(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(c.sorted, x)
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Points samples the CDF at n evenly spaced x positions across the data
+// range, for plotting as "x value, cumulative fraction" rows.
+func (c CDF) Points(n int) [][2]float64 {
+	if len(c.sorted) == 0 || n <= 0 {
+		return nil
+	}
+	lo, hi := c.sorted[0], c.sorted[len(c.sorted)-1]
+	out := make([][2]float64, 0, n)
+	for i := 0; i < n; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(n-1)
+		if n == 1 {
+			x = hi
+		}
+		out = append(out, [2]float64{x, c.At(x)})
+	}
+	return out
+}
+
+// Table renders aligned plain-text tables for the harness output.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are dropped.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Rows returns the row count.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// Render formats the table.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title + "\n")
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c + strings.Repeat(" ", widths[i]-len(c)))
+		}
+		b.WriteString("\n")
+	}
+	line(t.Headers)
+	total := len(widths)*2 - 2
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total) + "\n")
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180-ish CSV (header row first; cells with
+// commas or quotes are quoted). The title is not included.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Slug derives a filesystem-friendly name from the table title.
+func (t *Table) Slug() string {
+	s := strings.ToLower(t.Title)
+	if i := strings.Index(s, " — "); i > 0 {
+		s = s[:i]
+	}
+	s = strings.TrimSpace(s)
+	s = strings.ReplaceAll(s, " ", "-")
+	s = strings.ReplaceAll(s, "(", "-")
+	var b strings.Builder
+	for _, r := range s {
+		if r == '-' || (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') {
+			b.WriteRune(r)
+		}
+	}
+	if b.Len() == 0 {
+		return "table"
+	}
+	return b.String()
+}
+
+// F formats a float at the given precision — table-cell helper.
+func F(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }

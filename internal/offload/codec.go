@@ -1,0 +1,96 @@
+package offload
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// The real-time wire protocol used by cmd/rattrapd and cmd/rattrap-client:
+// gob-framed messages over a stream. The simulated path models the same
+// exchange with netsim transfer sizes; the message *types* are shared so
+// both paths speak the identical protocol.
+
+// Kind discriminates frames.
+type Kind string
+
+// Frame kinds.
+const (
+	KindHello    Kind = "hello"
+	KindExec     Kind = "exec"
+	KindNeedCode Kind = "needcode"
+	KindCode     Kind = "code"
+	KindResult   Kind = "result"
+)
+
+// Hello opens a device connection.
+type Hello struct {
+	DeviceID string
+}
+
+// Frame is one protocol message.
+type Frame struct {
+	Kind   Kind
+	Hello  *Hello
+	Exec   *ExecRequest
+	Code   *CodePush
+	Result *Result
+}
+
+// Validate checks that the frame's payload matches its kind.
+func (f *Frame) Validate() error {
+	switch f.Kind {
+	case KindHello:
+		if f.Hello == nil {
+			return fmt.Errorf("offload: hello frame without payload")
+		}
+	case KindExec:
+		if f.Exec == nil {
+			return fmt.Errorf("offload: exec frame without payload")
+		}
+	case KindCode:
+		if f.Code == nil {
+			return fmt.Errorf("offload: code frame without payload")
+		}
+	case KindResult:
+		if f.Result == nil {
+			return fmt.Errorf("offload: result frame without payload")
+		}
+	case KindNeedCode:
+		// No payload.
+	default:
+		return fmt.Errorf("offload: unknown frame kind %q", f.Kind)
+	}
+	return nil
+}
+
+// Conn frames protocol messages over a byte stream.
+type Conn struct {
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+// NewConn wraps a stream (e.g. a net.Conn) in the protocol codec.
+func NewConn(rw io.ReadWriter) *Conn {
+	return &Conn{enc: gob.NewEncoder(rw), dec: gob.NewDecoder(rw)}
+}
+
+// Send writes one frame.
+func (c *Conn) Send(f Frame) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	return c.enc.Encode(&f)
+}
+
+// Recv reads one frame.
+func (c *Conn) Recv() (Frame, error) {
+	var f Frame
+	if err := c.dec.Decode(&f); err != nil {
+		return Frame{}, err
+	}
+	if err := f.Validate(); err != nil {
+		return Frame{}, err
+	}
+	return f, nil
+}

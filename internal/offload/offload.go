@@ -1,0 +1,118 @@
+// Package offload defines the offloading framework shared by the client
+// (mobile device) and the cloud platform: the wire protocol messages, the
+// four-phase timing breakdown of §III-B, per-request traffic accounting
+// (Figure 3 / Table II), and the Gateway interface through which a device
+// drives a cloud platform. Rattrap "leaves the offloading details in
+// clients to existing offloading frameworks and only cares about the cloud
+// side" — this package is that framework boundary.
+package offload
+
+import (
+	"crypto/sha1"
+	"encoding/hex"
+	"fmt"
+	"time"
+
+	"rattrap/internal/host"
+	"rattrap/internal/sim"
+)
+
+// ControlBytes is the modeled size of per-request control messages
+// (headers, method descriptors, acks) — the third slice of Figure 3.
+const ControlBytes host.Bytes = 350
+
+// AID identifies a mobile code blob (the App Warehouse cache key): the
+// hash of the code, app-stable across devices.
+func AID(app string, codeSize host.Bytes) string {
+	sum := sha1.Sum([]byte(fmt.Sprintf("%s:%d", app, codeSize)))
+	return hex.EncodeToString(sum[:8])
+}
+
+// ExecRequest asks the cloud to run one offloaded task.
+type ExecRequest struct {
+	DeviceID string
+	AID      string
+	App      string
+	Method   string
+	Seq      int
+	Params   []byte
+	// Modeled wire sizes at paper scale.
+	ParamBytes host.Bytes
+	FileBytes  host.Bytes
+	// Interactive exchanges during execution (games).
+	RoundTrips    int
+	InteractBytes host.Bytes
+}
+
+// CodePush carries mobile code to the cloud (first offload of an app).
+type CodePush struct {
+	AID  string
+	App  string
+	Size host.Bytes
+}
+
+// Result is the cloud's reply.
+type Result struct {
+	Output      string
+	ResultBytes host.Bytes
+	Err         string
+}
+
+// Phases is the paper's decomposition of one offloading request (§III-B).
+type Phases struct {
+	// NetworkConnection: establishing the device↔cloud connection.
+	NetworkConnection time.Duration
+	// DataTransfer: moving params, files, code and results.
+	DataTransfer time.Duration
+	// RuntimePreparation: setting up the mobile code runtime after the
+	// request arrives (the phase Rattrap attacks).
+	RuntimePreparation time.Duration
+	// ComputationExecution: pure execution of the offloaded task.
+	ComputationExecution time.Duration
+}
+
+// Response is the total offloading response time.
+func (p Phases) Response() time.Duration {
+	return p.NetworkConnection + p.DataTransfer + p.RuntimePreparation + p.ComputationExecution
+}
+
+// Traffic accounts migrated data by kind (Figure 3's composition) and
+// direction (Table II's totals).
+type Traffic struct {
+	CodeUp      host.Bytes
+	FileParamUp host.Bytes
+	ControlUp   host.Bytes
+	Down        host.Bytes
+}
+
+// Up is total upload.
+func (t Traffic) Up() host.Bytes { return t.CodeUp + t.FileParamUp + t.ControlUp }
+
+// Add accumulates another record.
+func (t *Traffic) Add(o Traffic) {
+	t.CodeUp += o.CodeUp
+	t.FileParamUp += o.FileParamUp
+	t.ControlUp += o.ControlUp
+	t.Down += o.Down
+}
+
+// Gateway is the cloud platform as seen by a device inside a simulation.
+type Gateway interface {
+	// Prepare allocates (possibly booting) a code runtime environment for
+	// the request and returns a session plus nothing else; the runtime-
+	// preparation time is observable as the virtual time Prepare consumes.
+	Prepare(p *sim.Proc, req ExecRequest) (Session, error)
+}
+
+// Session is one request's binding to a prepared runtime.
+type Session interface {
+	// NeedCode reports whether the device must push the mobile code
+	// (neither the runtime nor the App Warehouse has it).
+	NeedCode() bool
+	// PushCode delivers the code blob; the platform stores and loads it.
+	PushCode(p *sim.Proc, push CodePush) error
+	// Execute runs the task and returns the result.
+	Execute(p *sim.Proc) (Result, error)
+	// Release ends the session (the runtime stays warm for reuse).
+	Release()
+}

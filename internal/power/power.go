@@ -1,0 +1,153 @@
+// Package power implements a PowerTutor-style energy model for the mobile
+// device (the paper measures with PowerTutor [22]): component power states
+// for the CPU and for each radio (WiFi, 3G, 4G), integrated over the
+// phases of an offloading request. Energies are reported in joules and,
+// for Figure 10, normalized to running the same workload entirely on the
+// device.
+package power
+
+import (
+	"fmt"
+	"time"
+
+	"rattrap/internal/netsim"
+	"rattrap/internal/offload"
+)
+
+// CPU power states of the handset (big core active vs. idle-with-screen).
+const (
+	CPUActiveW = 0.90
+	CPUIdleW   = 0.30
+)
+
+// Radio characterizes one network interface's power behaviour.
+type Radio struct {
+	Name string
+	// TxW / RxW are transmit/receive powers.
+	TxW float64
+	RxW float64
+	// PromoW/PromoTime model connection setup (cellular radio promotion
+	// from IDLE to a dedicated channel; association for WiFi).
+	PromoW    float64
+	PromoTime time.Duration
+	// TailW/TailTime model the post-transfer tail (cellular radios hold
+	// the channel before demoting).
+	TailW    float64
+	TailTime time.Duration
+	// IdleW is the radio's baseline while connected but quiet.
+	IdleW float64
+}
+
+// RadioFor returns the PowerTutor parameters for a network scenario.
+// WiFi numbers follow PowerTutor's low/high states; 3G follows its
+// IDLE/FACH/DCH model; 4G (LTE) follows later measurements of the same
+// methodology.
+func RadioFor(profile string) (Radio, error) {
+	switch profile {
+	case netsim.LANWiFi().Name, netsim.WANWiFi().Name:
+		return Radio{
+			Name: "WiFi", TxW: 0.72, RxW: 0.34,
+			PromoW: 0.40, PromoTime: 0,
+			TailW: 0.12, TailTime: 200 * time.Millisecond,
+			IdleW: 0.03,
+		}, nil
+	case netsim.ThreeG().Name:
+		return Radio{
+			Name: "3G", TxW: 0.80, RxW: 0.60,
+			PromoW: 0.46, PromoTime: 1500 * time.Millisecond, // IDLE->DCH
+			TailW: 0.46, TailTime: 6 * time.Second, // DCH/FACH tail
+			IdleW: 0.01,
+		}, nil
+	case netsim.FourG().Name:
+		return Radio{
+			Name: "4G", TxW: 1.20, RxW: 0.90,
+			PromoW: 0.55, PromoTime: 260 * time.Millisecond,
+			TailW: 0.60, TailTime: 1500 * time.Millisecond, // LTE DRX tail
+			IdleW: 0.02,
+		}, nil
+	}
+	return Radio{}, fmt.Errorf("power: no radio model for profile %q", profile)
+}
+
+// LocalEnergy is the joules spent running the workload on the device for
+// execTime (CPU fully active; radios quiet).
+func LocalEnergy(execTime time.Duration) float64 {
+	return CPUActiveW * execTime.Seconds()
+}
+
+// OffloadBreakdown carries the measured durations of one offloaded request
+// needed to integrate device power.
+type OffloadBreakdown struct {
+	Phases offload.Phases
+	// UpAirtime / DownAirtime are the radio-active portions of
+	// DataTransfer (the rest of the request the radio only idles/tails).
+	UpAirtime   time.Duration
+	DownAirtime time.Duration
+}
+
+// OffloadEnergy integrates device power over one offloaded request:
+//
+//   - connection: radio promotion power;
+//   - transfers: TxW/RxW while bytes are in flight;
+//   - cloud wait (runtime preparation + computation): CPU idle with the
+//     radio holding its tail/idle state — the term that makes long VM
+//     runtime preparation expensive in battery, not just latency;
+//   - post-request tail: the radio's demotion tail.
+func OffloadEnergy(r Radio, b OffloadBreakdown) float64 {
+	e := 0.0
+	// Connection establishment.
+	e += r.PromoW * b.Phases.NetworkConnection.Seconds()
+	// Transfers.
+	e += r.TxW * b.UpAirtime.Seconds()
+	e += r.RxW * b.DownAirtime.Seconds()
+	// Waiting on the cloud: CPU idles, radio idles (it demotes during
+	// long waits; approximate with idle power past the tail window).
+	wait := b.Phases.RuntimePreparation + b.Phases.ComputationExecution
+	e += CPUIdleW * wait.Seconds()
+	tailDuring := wait
+	if tailDuring > r.TailTime {
+		tailDuring = r.TailTime
+	}
+	e += r.TailW*tailDuring.Seconds() + r.IdleW*(wait-tailDuring).Seconds()
+	// Final tail after the result arrives.
+	e += r.TailW * r.TailTime.Seconds()
+	// CPU idles through all transfer time too.
+	e += CPUIdleW * (b.Phases.NetworkConnection + b.Phases.DataTransfer).Seconds()
+	return e
+}
+
+// Meter accumulates energy over a run. It tracks the radio's tail state so
+// that back-to-back requests do not each pay the full demotion tail: when a
+// new request starts inside the previous request's tail window, the unused
+// part of that tail is refunded (the radio never demoted).
+type Meter struct {
+	Joules float64
+
+	lastEnd      time.Duration // virtual time the previous offload finished
+	lastTailW    float64
+	lastTailTime time.Duration
+	tailValid    bool
+}
+
+// AddLocal charges a local execution.
+func (m *Meter) AddLocal(execTime time.Duration) {
+	m.Joules += LocalEnergy(execTime)
+}
+
+// AddOffload charges an offloaded request that ran from start to end on
+// the virtual clock.
+func (m *Meter) AddOffload(r Radio, b OffloadBreakdown, start, end time.Duration) {
+	if m.tailValid && start >= m.lastEnd {
+		tailEnd := m.lastEnd + m.lastTailTime
+		if start < tailEnd {
+			// The radio was still in its tail: refund the part of the
+			// previously charged tail that this request's activity covers.
+			m.Joules -= m.lastTailW * (tailEnd - start).Seconds()
+		}
+	}
+	m.Joules += OffloadEnergy(r, b)
+	m.lastEnd = end
+	m.lastTailW = r.TailW
+	m.lastTailTime = r.TailTime
+	m.tailValid = true
+}

@@ -1,0 +1,126 @@
+package power
+
+import (
+	"testing"
+	"time"
+
+	"rattrap/internal/netsim"
+	"rattrap/internal/offload"
+)
+
+func TestLocalEnergy(t *testing.T) {
+	if got := LocalEnergy(10 * time.Second); got != 9.0 {
+		t.Fatalf("local energy = %v J, want 9.0 (0.9 W × 10 s)", got)
+	}
+}
+
+func TestRadioForAllProfiles(t *testing.T) {
+	for _, prof := range netsim.Profiles() {
+		r, err := RadioFor(prof.Name)
+		if err != nil {
+			t.Fatalf("%s: %v", prof.Name, err)
+		}
+		if r.TxW <= 0 || r.RxW <= 0 {
+			t.Fatalf("%s: non-positive radio powers %+v", prof.Name, r)
+		}
+	}
+	if _, err := RadioFor("carrier-pigeon"); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+func TestCellularCostlierThanWiFi(t *testing.T) {
+	wifi, _ := RadioFor(netsim.LANWiFi().Name)
+	threeG, _ := RadioFor(netsim.ThreeG().Name)
+	fourG, _ := RadioFor(netsim.FourG().Name)
+	b := OffloadBreakdown{
+		Phases: offload.Phases{
+			NetworkConnection:    50 * time.Millisecond,
+			DataTransfer:         2 * time.Second,
+			RuntimePreparation:   1 * time.Second,
+			ComputationExecution: 1 * time.Second,
+		},
+		UpAirtime:   1500 * time.Millisecond,
+		DownAirtime: 500 * time.Millisecond,
+	}
+	eWiFi := OffloadEnergy(wifi, b)
+	e3G := OffloadEnergy(threeG, b)
+	e4G := OffloadEnergy(fourG, b)
+	if !(eWiFi < e4G && e4G < e3G*1.5) || e3G < eWiFi {
+		t.Fatalf("energy ordering wifi=%.2f 4G=%.2f 3G=%.2f, want wifi cheapest", eWiFi, e4G, e3G)
+	}
+}
+
+func TestLongRuntimePreparationCostsEnergy(t *testing.T) {
+	// The VM's 28 s runtime preparation burns idle-CPU + radio-tail energy
+	// on the device: the mechanism behind Figure 10's Rattrap advantage.
+	wifi, _ := RadioFor(netsim.LANWiFi().Name)
+	fast := OffloadBreakdown{Phases: offload.Phases{
+		RuntimePreparation:   2 * time.Second,
+		ComputationExecution: time.Second,
+	}}
+	slow := fast
+	slow.Phases.RuntimePreparation = 28 * time.Second
+	eFast := OffloadEnergy(wifi, fast)
+	eSlow := OffloadEnergy(wifi, slow)
+	if eSlow <= eFast {
+		t.Fatalf("slow prep %v J not costlier than fast %v J", eSlow, eFast)
+	}
+	// The extra 26 s should cost ≈26 × (CPUIdle + radio idle) joules.
+	extra := eSlow - eFast
+	if extra < 26*CPUIdleW || extra > 26*(CPUIdleW+0.2) {
+		t.Fatalf("extra energy %v J outside the idle-wait band", extra)
+	}
+}
+
+func TestOffloadingChessSavesEnergyOnLAN(t *testing.T) {
+	// Chess locally: ≈2 s at 0.9 W = 1.8 J. Offloaded on LAN with a warm
+	// runtime: well under half of that.
+	wifi, _ := RadioFor(netsim.LANWiFi().Name)
+	local := LocalEnergy(2 * time.Second)
+	off := OffloadEnergy(wifi, OffloadBreakdown{
+		Phases: offload.Phases{
+			NetworkConnection:    5 * time.Millisecond,
+			DataTransfer:         40 * time.Millisecond,
+			RuntimePreparation:   10 * time.Millisecond,
+			ComputationExecution: 300 * time.Millisecond,
+		},
+		UpAirtime:   30 * time.Millisecond,
+		DownAirtime: 10 * time.Millisecond,
+	})
+	if off >= local/2 {
+		t.Fatalf("offload energy %v J not well below local %v J", off, local)
+	}
+}
+
+func TestMeterAccumulates(t *testing.T) {
+	var m Meter
+	m.AddLocal(time.Second)
+	wifi, _ := RadioFor(netsim.LANWiFi().Name)
+	m.AddOffload(wifi, OffloadBreakdown{Phases: offload.Phases{ComputationExecution: time.Second}}, 0, time.Second)
+	if m.Joules <= 0.9 {
+		t.Fatalf("meter = %v J", m.Joules)
+	}
+}
+
+func TestMeterTailMerging(t *testing.T) {
+	// Two back-to-back requests on 3G must cost less than two isolated
+	// ones: the radio never demotes between them, so the first request's
+	// tail is mostly refunded.
+	threeG, _ := RadioFor(netsim.ThreeG().Name)
+	b := OffloadBreakdown{Phases: offload.Phases{ComputationExecution: time.Second}}
+	var isolated Meter
+	isolated.AddOffload(threeG, b, 0, 2*time.Second)
+	isolated.AddOffload(threeG, b, 100*time.Second, 102*time.Second)
+	var backToBack Meter
+	backToBack.AddOffload(threeG, b, 0, 2*time.Second)
+	backToBack.AddOffload(threeG, b, 2500*time.Millisecond, 4500*time.Millisecond)
+	if backToBack.Joules >= isolated.Joules {
+		t.Fatalf("back-to-back %v J not cheaper than isolated %v J", backToBack.Joules, isolated.Joules)
+	}
+	// The refund is bounded by one full tail.
+	maxRefund := threeG.TailW * threeG.TailTime.Seconds()
+	if diff := isolated.Joules - backToBack.Joules; diff > maxRefund+1e-9 {
+		t.Fatalf("refund %v J exceeds a full tail %v J", diff, maxRefund)
+	}
+}

@@ -1,0 +1,93 @@
+// Package realtime runs the Rattrap platform against the wall clock: a
+// Driver paces the discrete-event engine so one virtual second takes one
+// real second, and a Server speaks the offload wire protocol over real TCP
+// connections. The exact same core.Platform code serves both the
+// evaluation harness (pure virtual time) and this path — the Clock/
+// Transport split promised in DESIGN.md.
+package realtime
+
+import (
+	"sync"
+	"time"
+
+	"rattrap/internal/sim"
+)
+
+// Driver advances an engine in step with the wall clock. All interaction
+// with the engine (and anything living on it) must go through Inject.
+type Driver struct {
+	mu      sync.Mutex
+	e       *sim.Engine
+	started time.Time
+	stop    chan struct{}
+	done    chan struct{}
+	// Speed scales virtual time: 2.0 runs the platform at twice real time
+	// (useful for demos that would otherwise wait out a 30 s VM boot).
+	speed float64
+}
+
+// NewDriver wraps e. speed < = 0 defaults to 1 (real time).
+func NewDriver(e *sim.Engine, speed float64) *Driver {
+	if speed <= 0 {
+		speed = 1
+	}
+	return &Driver{e: e, speed: speed, stop: make(chan struct{}), done: make(chan struct{})}
+}
+
+// Start begins pacing. The engine's virtual time zero is "now".
+func (d *Driver) Start() {
+	d.started = time.Now()
+	go d.loop()
+}
+
+func (d *Driver) loop() {
+	defer close(d.done)
+	ticker := time.NewTicker(2 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-ticker.C:
+			target := sim.Time(float64(time.Since(d.started)) * d.speed)
+			d.mu.Lock()
+			if d.e.Now() < target {
+				d.e.RunUntil(target)
+			}
+			d.mu.Unlock()
+		}
+	}
+}
+
+// Stop halts pacing and waits for the loop to exit.
+func (d *Driver) Stop() {
+	close(d.stop)
+	<-d.done
+}
+
+// Inject runs fn as a simulated process and returns a channel that closes
+// when the process finishes. Callers block on the channel from ordinary
+// goroutines; the process itself runs under the driver's pacing, so its
+// virtual-time costs (boots, transfers, compute) take real time.
+func (d *Driver) Inject(name string, fn func(p *sim.Proc)) <-chan struct{} {
+	ch := make(chan struct{})
+	d.mu.Lock()
+	d.e.Spawn(name, func(p *sim.Proc) {
+		defer close(ch)
+		fn(p)
+	})
+	d.mu.Unlock()
+	return ch
+}
+
+// Do injects fn and waits for it to complete.
+func (d *Driver) Do(name string, fn func(p *sim.Proc)) {
+	<-d.Inject(name, fn)
+}
+
+// Now returns the engine's current virtual time (paced).
+func (d *Driver) Now() sim.Time {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.e.Now()
+}

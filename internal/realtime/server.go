@@ -1,0 +1,169 @@
+package realtime
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"rattrap/internal/core"
+	"rattrap/internal/offload"
+	"rattrap/internal/sim"
+)
+
+// Server serves the offload wire protocol over real connections, backed by
+// a paced core.Platform.
+type Server struct {
+	drv *Driver
+	pl  *core.Platform
+	log *log.Logger
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+}
+
+// NewServer builds a platform of the given kind and starts its pacing
+// driver. speed scales virtual time (1 = real time).
+func NewServer(cfg core.Config, speed float64, logger *log.Logger) *Server {
+	e := sim.NewEngine(1)
+	pl := core.New(e, cfg)
+	drv := NewDriver(e, speed)
+	drv.Start()
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	return &Server{drv: drv, pl: pl, log: logger, conns: make(map[net.Conn]struct{})}
+}
+
+// Platform exposes the underlying platform (status endpoints, tests).
+func (s *Server) Platform() *core.Platform { return s.pl }
+
+// Driver exposes the pacing driver.
+func (s *Server) Driver() *Driver { return s.drv }
+
+// Serve accepts connections until the listener closes.
+func (s *Server) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.isClosed() {
+				return nil
+			}
+			return err
+		}
+		s.track(conn, true)
+		go func() {
+			defer s.track(conn, false)
+			defer conn.Close()
+			if err := s.handle(conn); err != nil && !errors.Is(err, io.EOF) {
+				s.log.Printf("conn %s: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+func (s *Server) track(c net.Conn, add bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if add {
+		s.conns[c] = struct{}{}
+	} else {
+		delete(s.conns, c)
+	}
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// Close stops the driver and closes live connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.drv.Stop()
+}
+
+// handle speaks the protocol with one device.
+func (s *Server) handle(conn net.Conn) error {
+	c := offload.NewConn(conn)
+	hello, err := c.Recv()
+	if err != nil {
+		return err
+	}
+	if hello.Kind != offload.KindHello {
+		return fmt.Errorf("realtime: expected hello, got %s", hello.Kind)
+	}
+	dev := hello.Hello.DeviceID
+	s.log.Printf("device %s connected", dev)
+
+	for {
+		f, err := c.Recv()
+		if err != nil {
+			return err
+		}
+		if f.Kind != offload.KindExec {
+			return fmt.Errorf("realtime: expected exec, got %s", f.Kind)
+		}
+		if err := s.serveRequest(c, dev, *f.Exec); err != nil {
+			return err
+		}
+	}
+}
+
+// serveRequest runs one request through the platform. Engine-bound steps
+// (prepare, push, execute) run as injected processes, so runtime
+// preparation and execution consume real (paced) time; protocol I/O runs
+// between them on the connection's goroutine.
+func (s *Server) serveRequest(c *offload.Conn, dev string, req offload.ExecRequest) error {
+	req.DeviceID = dev
+	var (
+		sess offload.Session
+		err  error
+	)
+	s.drv.Do("prepare:"+dev, func(p *sim.Proc) {
+		sess, err = s.pl.Prepare(p, req)
+	})
+	if err != nil {
+		return c.Send(offload.Frame{Kind: offload.KindResult, Result: &offload.Result{Err: err.Error()}})
+	}
+	defer s.drv.Do("release:"+dev, func(p *sim.Proc) { sess.Release() })
+
+	if sess.NeedCode() {
+		if err := c.Send(offload.Frame{Kind: offload.KindNeedCode}); err != nil {
+			return err
+		}
+		codeFrame, err := c.Recv()
+		if err != nil {
+			return err
+		}
+		if codeFrame.Kind != offload.KindCode {
+			return fmt.Errorf("realtime: expected code, got %s", codeFrame.Kind)
+		}
+		var pushErr error
+		s.drv.Do("push:"+dev, func(p *sim.Proc) {
+			pushErr = sess.PushCode(p, *codeFrame.Code)
+		})
+		if pushErr != nil {
+			return c.Send(offload.Frame{Kind: offload.KindResult, Result: &offload.Result{Err: pushErr.Error()}})
+		}
+	}
+
+	var res offload.Result
+	var execErr error
+	s.drv.Do("exec:"+dev, func(p *sim.Proc) {
+		res, execErr = sess.Execute(p)
+	})
+	if execErr != nil {
+		res = offload.Result{Err: execErr.Error()}
+	}
+	return c.Send(offload.Frame{Kind: offload.KindResult, Result: &res})
+}

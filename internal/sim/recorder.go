@@ -1,0 +1,167 @@
+package sim
+
+import "time"
+
+// StepSeries records a piecewise-constant value over virtual time (e.g.
+// "cores busy" or "bytes in flight") and can reduce it to per-bucket
+// averages, which is how the per-second utilization timelines in Figure 2
+// are produced.
+type StepSeries struct {
+	e     *Engine
+	last  Time
+	value float64
+	steps []step
+}
+
+type step struct {
+	at Time
+	v  float64
+}
+
+// NewStepSeries returns a series starting at value 0 at the current time.
+func NewStepSeries(e *Engine) *StepSeries {
+	s := &StepSeries{e: e, last: e.now}
+	s.steps = append(s.steps, step{at: e.now, v: 0})
+	return s
+}
+
+// Set records that the value changed to v at the current virtual time.
+func (s *StepSeries) Set(v float64) {
+	now := s.e.now
+	if n := len(s.steps); n > 0 && s.steps[n-1].at == now {
+		s.steps[n-1].v = v
+	} else {
+		s.steps = append(s.steps, step{at: now, v: v})
+	}
+	s.value = v
+}
+
+// Add records a relative change of dv at the current virtual time.
+func (s *StepSeries) Add(dv float64) { s.Set(s.value + dv) }
+
+// Value returns the current value.
+func (s *StepSeries) Value() float64 { return s.value }
+
+// Integral returns the time-integral of the series between a and b,
+// in value·seconds.
+func (s *StepSeries) Integral(a, b Time) float64 {
+	if b <= a {
+		return 0
+	}
+	var total float64
+	for i, st := range s.steps {
+		segStart := st.at
+		segEnd := b
+		if i+1 < len(s.steps) {
+			segEnd = s.steps[i+1].at
+		}
+		if segEnd <= a || segStart >= b {
+			continue
+		}
+		if segStart < a {
+			segStart = a
+		}
+		if segEnd > b {
+			segEnd = b
+		}
+		total += st.v * (segEnd - segStart).Duration().Seconds()
+	}
+	return total
+}
+
+// Mean returns the time-weighted average value between a and b.
+func (s *StepSeries) Mean(a, b Time) float64 {
+	if b <= a {
+		return 0
+	}
+	return s.Integral(a, b) / (b - a).Duration().Seconds()
+}
+
+// Buckets reduces the series to per-bucket time-weighted averages covering
+// [from, to), with the given bucket width. It returns one value per bucket.
+func (s *StepSeries) Buckets(from, to Time, width time.Duration) []float64 {
+	if width <= 0 {
+		panic("sim: StepSeries.Buckets: non-positive width")
+	}
+	var out []float64
+	for t := from; t < to; t += Time(width) {
+		end := t + Time(width)
+		if end > to {
+			end = to
+		}
+		out = append(out, s.Mean(t, end))
+	}
+	return out
+}
+
+// CountSeries accumulates discrete quantities (e.g. bytes read) into
+// buckets of virtual time, producing rate timelines such as disk MB/s.
+type CountSeries struct {
+	e      *Engine
+	events []countEvent
+}
+
+type countEvent struct {
+	at Time
+	v  float64
+}
+
+// NewCountSeries returns an empty count series.
+func NewCountSeries(e *Engine) *CountSeries { return &CountSeries{e: e} }
+
+// Add records that quantity v occurred at the current virtual time.
+func (c *CountSeries) Add(v float64) {
+	c.events = append(c.events, countEvent{at: c.e.now, v: v})
+}
+
+// AddSpread records quantity v spread uniformly over [now, now+d), so a
+// long transfer contributes to every bucket it overlaps rather than
+// spiking at its start instant.
+func (c *CountSeries) AddSpread(v float64, d time.Duration) {
+	if d <= 0 {
+		c.Add(v)
+		return
+	}
+	// Record as many evenly spaced samples as there are whole 100ms slices,
+	// which is finer than the 1s buckets the harness uses.
+	const slice = 100 * time.Millisecond
+	n := int(d / slice)
+	if n < 1 {
+		n = 1
+	}
+	per := v / float64(n)
+	for i := 0; i < n; i++ {
+		at := c.e.now + Time(time.Duration(i)*d/time.Duration(n))
+		c.events = append(c.events, countEvent{at: at, v: per})
+	}
+}
+
+// Total returns the sum of all recorded quantities in [a, b).
+func (c *CountSeries) Total(a, b Time) float64 {
+	var total float64
+	for _, ev := range c.events {
+		if ev.at >= a && ev.at < b {
+			total += ev.v
+		}
+	}
+	return total
+}
+
+// Buckets sums quantities into buckets of the given width covering [from, to).
+func (c *CountSeries) Buckets(from, to Time, width time.Duration) []float64 {
+	if width <= 0 {
+		panic("sim: CountSeries.Buckets: non-positive width")
+	}
+	n := int((to - from + Time(width) - 1) / Time(width))
+	if n < 0 {
+		n = 0
+	}
+	out := make([]float64, n)
+	for _, ev := range c.events {
+		if ev.at < from || ev.at >= to {
+			continue
+		}
+		out[int((ev.at-from)/Time(width))] += ev.v
+	}
+	return out
+}

@@ -1,0 +1,288 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// Every evaluation run in this repository executes on a virtual clock owned
+// by an Engine. The engine dispatches exactly one event at a time, so
+// simulations are fully deterministic given a seed, regardless of host
+// scheduling. Model code is written in one of two styles:
+//
+//   - event style: Engine.After / Engine.At schedule plain callbacks;
+//   - process style: Engine.Spawn starts a coroutine-like Proc that may
+//     block in virtual time (Sleep, Wait, Resource.Acquire) while other
+//     events run.
+//
+// Procs are backed by goroutines, but the engine guarantees that at most one
+// of them executes at any instant: a Proc runs only between Engine handing
+// it control and the Proc parking again, so no locking is needed in model
+// code and results are reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is an instant on the virtual clock, measured as a duration since the
+// start of the simulation (virtual time zero).
+type Time time.Duration
+
+// Duration converts the instant to the duration elapsed since time zero.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds reports the instant as floating-point seconds since time zero.
+func (t Time) Seconds() float64 { return time.Duration(t).Seconds() }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Event is a scheduled callback. It may be cancelled before it fires.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+// Cancel prevents the event from firing. Cancelling an event that already
+// fired (or was already cancelled) is a no-op.
+func (ev *Event) Cancel() { ev.canceled = true }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine owns the virtual clock and the pending-event queue.
+type Engine struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	running bool
+	procs   int // live (started, unfinished) Procs, for leak detection
+}
+
+// NewEngine returns an engine at virtual time zero whose random source is
+// seeded with seed. All model randomness must come from Rand() so that runs
+// are reproducible.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// At schedules fn to run at absolute virtual time t, which must not be in
+// the past.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event in the past: %v < %v", t, e.now))
+	}
+	e.seq++
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current virtual time.
+func (e *Engine) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now+Time(d), fn)
+}
+
+// step pops and runs the next event. It reports false when no events remain.
+func (e *Engine) step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run dispatches events until none remain.
+func (e *Engine) Run() {
+	if e.running {
+		panic("sim: Run called re-entrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for e.step() {
+	}
+}
+
+// RunUntil dispatches events until the clock would pass t, then sets the
+// clock to t. Events scheduled exactly at t do fire.
+func (e *Engine) RunUntil(t Time) {
+	if e.running {
+		panic("sim: RunUntil called re-entrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.events) > 0 {
+		if next := e.events[0].at; next > t {
+			break
+		}
+		e.step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// Pending reports how many events are queued (including cancelled ones not
+// yet discarded).
+func (e *Engine) Pending() int { return len(e.events) }
+
+// LiveProcs reports how many spawned Procs have started but not finished.
+// A nonzero value after Run returns usually indicates a deadlocked model.
+func (e *Engine) LiveProcs() int { return e.procs }
+
+// Proc is a simulated process: a coroutine that can block in virtual time.
+// All Proc methods must be called from the Proc's own goroutine (that is,
+// from within the function passed to Spawn or functions it calls).
+type Proc struct {
+	E      *Engine
+	Name   string
+	resume chan struct{}
+	parked chan struct{}
+	dead   bool
+}
+
+// Spawn starts fn as a simulated process at the current virtual time.
+// fn begins executing when the engine dispatches its start event.
+func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
+	p := &Proc{E: e, Name: name, resume: make(chan struct{}), parked: make(chan struct{})}
+	e.procs++
+	e.After(0, func() {
+		go func() {
+			// The deferred park runs even if fn panics or exits via
+			// runtime.Goexit (e.g. t.Fatal in tests), so the engine is
+			// never left waiting on a dead proc.
+			defer func() {
+				p.dead = true
+				p.E.procs--
+				p.parked <- struct{}{}
+			}()
+			<-p.resume
+			fn(p)
+		}()
+		p.dispatch()
+	})
+	return p
+}
+
+// dispatch hands control to the proc's goroutine and blocks the engine until
+// the proc parks (or finishes). It is the only place model goroutines run.
+func (p *Proc) dispatch() {
+	p.resume <- struct{}{}
+	<-p.parked
+}
+
+// park suspends the calling proc, returning control to the engine, until
+// some event calls dispatch again.
+func (p *Proc) park() {
+	p.parked <- struct{}{}
+	<-p.resume
+}
+
+// Sleep blocks the proc for d of virtual time.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: %s: negative sleep %v", p.Name, d))
+	}
+	p.E.After(d, p.dispatch)
+	p.park()
+}
+
+// Done reports whether the proc's function has returned.
+func (p *Proc) Done() bool { return p.dead }
+
+// Wait blocks the proc until the signal fires. If the signal has already
+// fired, Wait returns immediately.
+func (p *Proc) Wait(s *Signal) {
+	if s.fired {
+		return
+	}
+	s.waiters = append(s.waiters, p.dispatch)
+	p.park()
+}
+
+// Signal is a one-shot broadcast condition: procs and callbacks can wait on
+// it, and Fire releases all of them. Signals are the engine's analog of a
+// closed channel.
+type Signal struct {
+	e       *Engine
+	fired   bool
+	firedAt Time
+	waiters []func()
+}
+
+// NewSignal returns an unfired signal bound to e.
+func NewSignal(e *Engine) *Signal { return &Signal{e: e} }
+
+// Fired reports whether Fire has been called.
+func (s *Signal) Fired() bool { return s.fired }
+
+// FiredAt returns the virtual time Fire was called; zero if unfired.
+func (s *Signal) FiredAt() Time { return s.firedAt }
+
+// Fire releases all current waiters (as events at the current time) and
+// makes future Wait/OnFire calls return/run immediately. Firing twice
+// panics: one-shot semantics keep model bugs visible.
+func (s *Signal) Fire() {
+	if s.fired {
+		panic("sim: Signal fired twice")
+	}
+	s.fired = true
+	s.firedAt = s.e.now
+	for _, w := range s.waiters {
+		w := w
+		s.e.After(0, w)
+	}
+	s.waiters = nil
+}
+
+// OnFire registers fn to run when the signal fires (immediately, as a
+// zero-delay event, if it already fired).
+func (s *Signal) OnFire(fn func()) {
+	if s.fired {
+		s.e.After(0, fn)
+		return
+	}
+	s.waiters = append(s.waiters, fn)
+}

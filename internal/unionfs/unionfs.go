@@ -1,0 +1,353 @@
+// Package unionfs implements an AUFS-like layered copy-on-write filesystem
+// plus tmpfs (in-memory) layers. It is the storage substrate for Cloud
+// Android Containers: read-only lower layers carry the shared Android
+// /system (the Shared Resource Layer of §IV-C), a small writable upper
+// layer holds per-container state, and a shared tmpfs layer carries
+// offloading I/O ("Sharing Offloading I/O", Figure 7b).
+//
+// Reads and writes are timed through the owning host: disk-backed layers
+// pay HDD cost (with page caching), tmpfs layers move at memory bandwidth.
+// Every file records its last access time, which is how the §III-E
+// redundancy profiling (Observation 4: 68.4% of the OS never touched) is
+// reproduced.
+package unionfs
+
+import (
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+
+	"rattrap/internal/host"
+	"rattrap/internal/sim"
+)
+
+// File describes one entry as seen through a mount.
+type File struct {
+	Path  string
+	Size  host.Bytes
+	Layer string // name of the layer that provides the visible copy
+}
+
+type node struct {
+	size       host.Bytes
+	data       []byte // optional real content (code blobs, small files)
+	accessed   bool
+	lastAccess sim.Time
+}
+
+// Layer is one stratum of a union mount. A layer may back many mounts at
+// once; that sharing is exactly what the Shared Resource Layer exploits.
+type Layer struct {
+	name     string
+	readOnly bool
+	inMemory bool
+	files    map[string]*node
+	wh       map[string]bool // whiteouts (only meaningful on writable layers)
+}
+
+// NewLayer creates a disk-backed layer. readOnly layers reject writes
+// through any mount.
+func NewLayer(name string, readOnly bool) *Layer {
+	return &Layer{name: name, readOnly: readOnly, files: make(map[string]*node), wh: make(map[string]bool)}
+}
+
+// NewTmpfs creates an in-memory (tmpfs) layer. Its content occupies RAM and
+// moves at memory bandwidth.
+func NewTmpfs(name string) *Layer {
+	l := NewLayer(name, false)
+	l.inMemory = true
+	return l
+}
+
+// Name returns the layer's identifier.
+func (l *Layer) Name() string { return l.name }
+
+// ReadOnly reports whether the layer rejects writes.
+func (l *Layer) ReadOnly() bool { return l.readOnly }
+
+// InMemory reports whether the layer is a tmpfs.
+func (l *Layer) InMemory() bool { return l.inMemory }
+
+// AddFile places a file directly into the layer (image construction; not a
+// timed operation). data may be nil when only the size matters.
+func (l *Layer) AddFile(p string, size host.Bytes, data []byte) {
+	if size < 0 {
+		panic("unionfs: negative file size")
+	}
+	l.files[clean(p)] = &node{size: size, data: data}
+}
+
+// RemoveFile deletes a file directly from the layer (image construction).
+func (l *Layer) RemoveFile(p string) { delete(l.files, clean(p)) }
+
+// Has reports whether the layer itself contains the path.
+func (l *Layer) Has(p string) bool {
+	_, ok := l.files[clean(p)]
+	return ok
+}
+
+// FileCount returns the number of files stored in the layer.
+func (l *Layer) FileCount() int { return len(l.files) }
+
+// Size returns the total bytes stored in the layer.
+func (l *Layer) Size() host.Bytes {
+	var total host.Bytes
+	for _, n := range l.files {
+		total += n.size
+	}
+	return total
+}
+
+// AccessedSize returns total bytes of files that have been read at least
+// once, and NeverAccessedSize the complement.
+func (l *Layer) AccessedSize() host.Bytes {
+	var total host.Bytes
+	for _, n := range l.files {
+		if n.accessed {
+			total += n.size
+		}
+	}
+	return total
+}
+
+// NeverAccessedSize returns total bytes of files never read.
+func (l *Layer) NeverAccessedSize() host.Bytes { return l.Size() - l.AccessedSize() }
+
+// ResetAccess clears all access marks (a fresh profiling run).
+func (l *Layer) ResetAccess() {
+	for _, n := range l.files {
+		n.accessed = false
+		n.lastAccess = 0
+	}
+}
+
+// SizeUnder returns total bytes of files whose path begins with prefix.
+func (l *Layer) SizeUnder(prefix string) host.Bytes {
+	prefix = clean(prefix)
+	var total host.Bytes
+	for p, n := range l.files {
+		if strings.HasPrefix(p, prefix) {
+			total += n.size
+		}
+	}
+	return total
+}
+
+// Paths returns all paths in the layer, sorted (deterministic iteration).
+func (l *Layer) Paths() []string {
+	out := make([]string, 0, len(l.files))
+	for p := range l.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WarmCacheOn marks every file of the layer resident in h's page cache
+// without simulated reads. Rattrap warms the Shared Resource Layer when the
+// platform starts, so every container boot after the first reads /system at
+// memory speed.
+func (l *Layer) WarmCacheOn(h *host.Host) {
+	for p, n := range l.files {
+		h.WarmCache(l.name+":"+p, n.size)
+	}
+}
+
+// Mount is a union view: a writable upper layer over read-only lowers.
+// Lookups go top-down; writes land in the upper via copy-on-write.
+type Mount struct {
+	h        *host.Host
+	name     string
+	layers   []*Layer // [0] = upper, rest lower in priority order
+	directIO bool
+}
+
+// SetDirectIO makes the mount bypass the host page cache. A hypervisor's
+// virtual-disk path (VirtualBox VDI) reads media directly, so two VMs
+// never share cached blocks the way containers sharing a layer do.
+func (m *Mount) SetDirectIO(v bool) { m.directIO = v }
+
+// NewMount assembles a union mount on h. upper must be writable; it is the
+// container's private delta. lowers are searched in order after upper.
+func NewMount(h *host.Host, name string, upper *Layer, lowers ...*Layer) (*Mount, error) {
+	if upper == nil {
+		return nil, fmt.Errorf("unionfs: mount %q: nil upper layer", name)
+	}
+	if upper.readOnly {
+		return nil, fmt.Errorf("unionfs: mount %q: upper layer %q is read-only", name, upper.name)
+	}
+	layers := append([]*Layer{upper}, lowers...)
+	return &Mount{h: h, name: name, layers: layers}, nil
+}
+
+// Name returns the mount identifier.
+func (m *Mount) Name() string { return m.name }
+
+// Upper returns the writable top layer.
+func (m *Mount) Upper() *Layer { return m.layers[0] }
+
+// Layers returns the stack, upper first.
+func (m *Mount) Layers() []*Layer { return m.layers }
+
+func clean(p string) string {
+	p = path.Clean("/" + p)
+	return p
+}
+
+// resolve finds the visible copy of p, honoring whiteouts in upper layers.
+func (m *Mount) resolve(p string) (*Layer, *node, bool) {
+	p = clean(p)
+	for _, l := range m.layers {
+		if l.wh[p] {
+			return nil, nil, false
+		}
+		if n, ok := l.files[p]; ok {
+			return l, n, true
+		}
+	}
+	return nil, nil, false
+}
+
+// Stat returns metadata for p through the union view.
+func (m *Mount) Stat(p string) (File, bool) {
+	l, n, ok := m.resolve(p)
+	if !ok {
+		return File{}, false
+	}
+	return File{Path: clean(p), Size: n.size, Layer: l.name}, true
+}
+
+// cacheKey identifies a file's backing blocks host-wide. It is layer-
+// scoped, so two containers reading the same shared-layer file share cache.
+func (m *Mount) cacheKey(l *Layer, p string) string {
+	if m.directIO {
+		return ""
+	}
+	return l.name + ":" + p
+}
+
+// Read reads the whole file at p, blocking proc for the I/O time.
+// efficiency models the runtime's I/O virtualization cost (VMs ≪ 1,
+// containers ≈ 1). It returns the file's size and content (nil if the
+// image only recorded a size).
+func (m *Mount) Read(proc *sim.Proc, p string, efficiency float64) (host.Bytes, []byte, error) {
+	l, n, ok := m.resolve(p)
+	if !ok {
+		return 0, nil, fmt.Errorf("unionfs: %s: %s: no such file", m.name, clean(p))
+	}
+	n.accessed = true
+	n.lastAccess = proc.E.Now()
+	if l.inMemory {
+		m.h.MemCopy(proc, n.size)
+	} else {
+		m.h.DiskRead(proc, m.cacheKey(l, clean(p)), n.size, true, efficiency)
+	}
+	return n.size, n.data, nil
+}
+
+// Write creates or replaces p with size bytes (and optional content),
+// blocking proc for the I/O time. If the visible copy lives in a lower
+// layer, the write copies up into the upper layer first (COW).
+func (m *Mount) Write(proc *sim.Proc, p string, size host.Bytes, data []byte, efficiency float64) error {
+	p = clean(p)
+	upper := m.layers[0]
+	if l, n, ok := m.resolve(p); ok && l != upper {
+		// Copy-up: read the lower copy, then write the new version.
+		if l.inMemory {
+			m.h.MemCopy(proc, n.size)
+		} else {
+			m.h.DiskRead(proc, m.cacheKey(l, p), n.size, true, efficiency)
+		}
+	}
+	if upper.inMemory {
+		m.h.MemCopy(proc, size)
+	} else {
+		m.h.DiskWrite(proc, size, true, efficiency)
+		m.h.WarmCache(m.cacheKey(upper, p), size)
+	}
+	delete(upper.wh, p)
+	upper.files[p] = &node{size: size, data: data, accessed: true, lastAccess: proc.E.Now()}
+	return nil
+}
+
+// Remove deletes p from the union view. If a lower layer still holds the
+// file, a whiteout in the upper layer hides it ("burn after reading" for
+// offloading I/O uses this).
+func (m *Mount) Remove(p string) error {
+	p = clean(p)
+	upper := m.layers[0]
+	_, _, visible := m.resolve(p)
+	if !visible {
+		return fmt.Errorf("unionfs: %s: %s: no such file", m.name, p)
+	}
+	delete(upper.files, p)
+	// Still visible through a lower layer? Whiteout.
+	for _, l := range m.layers[1:] {
+		if _, ok := l.files[p]; ok {
+			upper.wh[p] = true
+			break
+		}
+	}
+	return nil
+}
+
+// VisibleSize returns the total size of the union view.
+func (m *Mount) VisibleSize() host.Bytes {
+	seen := make(map[string]bool)
+	var total host.Bytes
+	for _, l := range m.layers {
+		for p, n := range l.files {
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			if !m.whiteoutAbove(l, p) {
+				total += n.size
+			}
+		}
+	}
+	return total
+}
+
+func (m *Mount) whiteoutAbove(target *Layer, p string) bool {
+	for _, l := range m.layers {
+		if l == target {
+			return false
+		}
+		if l.wh[p] {
+			return true
+		}
+		if _, ok := l.files[p]; ok {
+			return false // shadowed, but not whited out; still visible via upper copy
+		}
+	}
+	return false
+}
+
+// List returns the union view's files, sorted by path.
+func (m *Mount) List() []File {
+	seen := make(map[string]File)
+	hidden := make(map[string]bool)
+	for _, l := range m.layers {
+		for p := range l.wh {
+			if _, taken := seen[p]; !taken {
+				hidden[p] = true
+			}
+		}
+		for p, n := range l.files {
+			if hidden[p] {
+				continue
+			}
+			if _, taken := seen[p]; !taken {
+				seen[p] = File{Path: p, Size: n.size, Layer: l.name}
+			}
+		}
+	}
+	out := make([]File, 0, len(seen))
+	for _, f := range seen {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}

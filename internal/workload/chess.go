@@ -1,0 +1,477 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rattrap/internal/host"
+)
+
+// ChessGame is the games benchmark: an Android port of a chess engine
+// (CuckooChess in the paper). Each offloading request carries a game
+// position; the engine searches for the best move with iterative-deepening
+// alpha-beta. Requests are frequent and small — the "intensive network
+// communication" workload class.
+//
+// The embedded engine is real: 0x88 board, full legal move generation
+// (promotions included; castling and en passant omitted for brevity),
+// material+mobility evaluation, and alpha-beta with capture-first move
+// ordering. The modeled work scales the searched node count by
+// chessOpsPerNode, representing the deeper search a production engine runs.
+type Chess struct{}
+
+// NewChess returns the ChessGame benchmark.
+func NewChess() *Chess { return &Chess{} }
+
+// Calibration constants (see DESIGN.md): Table II gives a 2.3 MB APK and
+// ≈124 KB of per-request migrated data; the per-node scale makes a typical
+// search cost ≈600 device-mops (≈2 s locally on the phone).
+const (
+	chessCodeSize    = 2300 * host.KB
+	chessParamBytes  = 119 * host.KB
+	chessResultBytes = 5200 // + interaction replies ≈ Table II's 7.6 KB/request
+	// Interactive exchanges per request (game-state streaming between the
+	// client UI and the engine) and their per-direction payload.
+	chessRoundTrips    = 6
+	chessInteractBytes = 400
+	// chessOpsPerNode converts real searched nodes to modeled device mops
+	// (≈500k device ops per real node: the production engine searches far
+	// deeper than the embedded depth-3 instance, whose alpha-beta visits
+	// ~1.2k nodes per position).
+	chessOpsPerNode = 0.5
+)
+
+type chessParams struct {
+	Seed   int64
+	Prefix int // random half-moves to reach the position
+	Depth  int // search depth
+}
+
+func (c *Chess) Name() string         { return NameChess }
+func (c *Chess) CodeSize() host.Bytes { return chessCodeSize }
+
+// NewTask draws a request: a middlegame position (6–25 random plies from
+// the initial position) searched at depth 3.
+func (c *Chess) NewTask(rng *rand.Rand, seq int) Task {
+	p := chessParams{Seed: rng.Int63(), Prefix: 6 + rng.Intn(20), Depth: 3}
+	scale := 0.8 + rng.Float64()*0.4
+	return Task{
+		App:           NameChess,
+		Method:        "bestMove",
+		Seq:           seq,
+		Params:        encodeParams(p),
+		ParamBytes:    host.Bytes(float64(chessParamBytes) * scale),
+		RoundTrips:    chessRoundTrips,
+		InteractBytes: chessInteractBytes,
+	}
+}
+
+// Execute searches the position and returns the best move.
+func (c *Chess) Execute(t Task) (Metrics, error) {
+	var p chessParams
+	if err := decodeParams(t.Params, &p); err != nil {
+		return Metrics{}, fmt.Errorf("chess: %w", err)
+	}
+	if p.Depth <= 0 || p.Depth > 6 {
+		return Metrics{}, fmt.Errorf("chess: depth %d out of range", p.Depth)
+	}
+	b := newBoard()
+	rng := rand.New(rand.NewSource(p.Seed))
+	for i := 0; i < p.Prefix; i++ {
+		moves := b.legalMoves()
+		if len(moves) == 0 {
+			break
+		}
+		b.make(moves[rng.Intn(len(moves))])
+	}
+	best, score, nodes := b.search(p.Depth)
+	out := fmt.Sprintf("bestmove=%s score=%d nodes=%d", best, score, nodes)
+	return Metrics{
+		Work:        host.Work(float64(nodes) * chessOpsPerNode),
+		ResultBytes: chessResultBytes,
+		RealOps:     nodes,
+		Output:      out,
+	}, nil
+}
+
+// --- engine ---
+
+// Piece codes; white positive, black negative.
+const (
+	empty int8 = 0
+	wp    int8 = 1
+	wn    int8 = 2
+	wb    int8 = 3
+	wr    int8 = 4
+	wq    int8 = 5
+	wk    int8 = 6
+)
+
+var pieceValue = [7]int{0, 100, 320, 330, 500, 900, 20000}
+
+var knightOffsets = [8]int{33, 31, 18, 14, -33, -31, -18, -14}
+var kingOffsets = [8]int{1, -1, 16, -16, 15, -15, 17, -17}
+var bishopDirs = [4]int{15, -15, 17, -17}
+var rookDirs = [4]int{1, -1, 16, -16}
+
+type move struct {
+	from, to int
+	captured int8
+	promo    int8
+}
+
+func sqName(i int) string {
+	return fmt.Sprintf("%c%d", 'a'+i%16, i/16+1)
+}
+
+func (m move) String() string {
+	s := sqName(m.from) + sqName(m.to)
+	if m.promo != empty {
+		s += "q"
+	}
+	return s
+}
+
+type board struct {
+	sq    [128]int8
+	white bool // side to move
+	nodes int64
+}
+
+// newBoard sets up the initial position.
+func newBoard() *board {
+	b := &board{white: true}
+	back := []int8{wr, wn, wb, wq, wk, wb, wn, wr}
+	for f := 0; f < 8; f++ {
+		b.sq[f] = back[f]
+		b.sq[16+f] = wp
+		b.sq[6*16+f] = -wp
+		b.sq[7*16+f] = -back[f]
+	}
+	return b
+}
+
+func onBoard(i int) bool { return i&0x88 == 0 }
+
+func (b *board) side(piece int8) int {
+	switch {
+	case piece > 0:
+		return 1
+	case piece < 0:
+		return -1
+	}
+	return 0
+}
+
+func (b *board) mySign() int8 {
+	if b.white {
+		return 1
+	}
+	return -1
+}
+
+// attacked reports whether square i is attacked by the side with the given
+// sign (+1 white, -1 black).
+func (b *board) attacked(i int, bySign int8) bool {
+	// Pawns.
+	var pawnFrom [2]int
+	if bySign > 0 {
+		pawnFrom = [2]int{i - 15, i - 17}
+	} else {
+		pawnFrom = [2]int{i + 15, i + 17}
+	}
+	for _, f := range pawnFrom {
+		if onBoard(f) && b.sq[f] == bySign*wp {
+			return true
+		}
+	}
+	// Knights.
+	for _, o := range knightOffsets {
+		f := i + o
+		if onBoard(f) && b.sq[f] == bySign*wn {
+			return true
+		}
+	}
+	// Kings.
+	for _, o := range kingOffsets {
+		f := i + o
+		if onBoard(f) && b.sq[f] == bySign*wk {
+			return true
+		}
+	}
+	// Sliders.
+	for _, d := range bishopDirs {
+		for f := i + d; onBoard(f); f += d {
+			p := b.sq[f]
+			if p == empty {
+				continue
+			}
+			if p == bySign*wb || p == bySign*wq {
+				return true
+			}
+			break
+		}
+	}
+	for _, d := range rookDirs {
+		for f := i + d; onBoard(f); f += d {
+			p := b.sq[f]
+			if p == empty {
+				continue
+			}
+			if p == bySign*wr || p == bySign*wq {
+				return true
+			}
+			break
+		}
+	}
+	return false
+}
+
+func (b *board) kingSquare(sign int8) int {
+	for i := 0; i < 128; i++ {
+		if onBoard(i) && b.sq[i] == sign*wk {
+			return i
+		}
+	}
+	return -1
+}
+
+// inCheck reports whether the side with the given sign is in check.
+func (b *board) inCheck(sign int8) bool {
+	k := b.kingSquare(sign)
+	if k < 0 {
+		return true // king captured in a pseudo-legal line; treat as illegal
+	}
+	return b.attacked(k, -sign)
+}
+
+// pseudoMoves generates pseudo-legal moves for the side to move.
+func (b *board) pseudoMoves() []move {
+	sign := b.mySign()
+	moves := make([]move, 0, 48)
+	add := func(from, to int, promo int8) {
+		moves = append(moves, move{from: from, to: to, captured: b.sq[to], promo: promo})
+	}
+	addPawn := func(from, to int) {
+		lastRank := 7
+		if sign < 0 {
+			lastRank = 0
+		}
+		if to/16 == lastRank {
+			add(from, to, sign*wq)
+		} else {
+			add(from, to, empty)
+		}
+	}
+	for i := 0; i < 128; i++ {
+		if !onBoard(i) {
+			continue
+		}
+		p := b.sq[i]
+		if p == empty || b.side(p) != int(sign) {
+			continue
+		}
+		switch p * sign {
+		case wp:
+			fwd := i + 16*int(sign)
+			if onBoard(fwd) && b.sq[fwd] == empty {
+				addPawn(i, fwd)
+				startRank := 1
+				if sign < 0 {
+					startRank = 6
+				}
+				fwd2 := i + 32*int(sign)
+				if i/16 == startRank && b.sq[fwd2] == empty {
+					add(i, fwd2, empty)
+				}
+			}
+			for _, d := range [2]int{15, 17} {
+				c := i + d*int(sign)
+				if onBoard(c) && b.sq[c] != empty && b.side(b.sq[c]) == -int(sign) {
+					addPawn(i, c)
+				}
+			}
+		case wn:
+			for _, o := range knightOffsets {
+				to := i + o
+				if onBoard(to) && b.side(b.sq[to]) != int(sign) {
+					add(i, to, empty)
+				}
+			}
+		case wk:
+			for _, o := range kingOffsets {
+				to := i + o
+				if onBoard(to) && b.side(b.sq[to]) != int(sign) {
+					add(i, to, empty)
+				}
+			}
+		case wb, wr, wq:
+			var dirs []int
+			switch p * sign {
+			case wb:
+				dirs = bishopDirs[:]
+			case wr:
+				dirs = rookDirs[:]
+			default:
+				dirs = append(append([]int{}, bishopDirs[:]...), rookDirs[:]...)
+			}
+			for _, d := range dirs {
+				for to := i + d; onBoard(to); to += d {
+					target := b.sq[to]
+					if b.side(target) == int(sign) {
+						break
+					}
+					add(i, to, empty)
+					if target != empty {
+						break
+					}
+				}
+			}
+		}
+	}
+	return moves
+}
+
+// make applies a move.
+func (b *board) make(m move) {
+	p := b.sq[m.from]
+	if m.promo != empty {
+		p = m.promo
+	}
+	b.sq[m.to] = p
+	b.sq[m.from] = empty
+	b.white = !b.white
+}
+
+// unmake reverses a move made by make.
+func (b *board) unmake(m move) {
+	b.white = !b.white
+	p := b.sq[m.to]
+	if m.promo != empty {
+		p = b.mySign() * wp
+	}
+	b.sq[m.from] = p
+	b.sq[m.to] = m.captured
+}
+
+// legalMoves filters pseudo-legal moves that leave the mover in check.
+func (b *board) legalMoves() []move {
+	sign := b.mySign()
+	var out []move
+	for _, m := range b.pseudoMoves() {
+		b.make(m)
+		if !b.inCheck(sign) {
+			out = append(out, m)
+		}
+		b.unmake(m)
+	}
+	return out
+}
+
+// eval scores the position from the side to move's perspective:
+// material plus a small centrality bonus.
+func (b *board) eval() int {
+	score := 0
+	for i := 0; i < 128; i++ {
+		if !onBoard(i) {
+			continue
+		}
+		p := b.sq[i]
+		if p == empty {
+			continue
+		}
+		v := pieceValue[p*int8(b.side(p))]
+		// Centrality: distance from board center, worth a few centipawns.
+		f, r := i%16, i/16
+		center := 6 - abs(2*f-7)/2 - abs(2*r-7)/2
+		v += center * 3
+		score += v * b.side(p)
+	}
+	return score * int(b.mySign())
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+const mateScore = 100000
+
+// negamax is alpha-beta search counting visited nodes.
+func (b *board) negamax(depth, alpha, beta int) int {
+	b.nodes++
+	if depth == 0 {
+		return b.eval()
+	}
+	moves := b.legalMoves()
+	if len(moves) == 0 {
+		if b.inCheck(b.mySign()) {
+			return -mateScore - depth // prefer faster mates
+		}
+		return 0 // stalemate
+	}
+	orderMoves(moves)
+	for _, m := range moves {
+		b.make(m)
+		score := -b.negamax(depth-1, -beta, -alpha)
+		b.unmake(m)
+		if score >= beta {
+			return beta
+		}
+		if score > alpha {
+			alpha = score
+		}
+	}
+	return alpha
+}
+
+// orderMoves puts captures first, most valuable victim first (MVV).
+func orderMoves(moves []move) {
+	// Insertion sort by capture value descending: move lists are short.
+	for i := 1; i < len(moves); i++ {
+		m := moves[i]
+		v := captureValue(m)
+		j := i - 1
+		for j >= 0 && captureValue(moves[j]) < v {
+			moves[j+1] = moves[j]
+			j--
+		}
+		moves[j+1] = m
+	}
+}
+
+func captureValue(m move) int {
+	if m.captured == empty {
+		return 0
+	}
+	c := m.captured
+	if c < 0 {
+		c = -c
+	}
+	return pieceValue[c]
+}
+
+// search returns the best move at the given depth, its score, and the
+// number of nodes visited.
+func (b *board) search(depth int) (move, int, int64) {
+	b.nodes = 0
+	moves := b.legalMoves()
+	if len(moves) == 0 {
+		return move{}, -mateScore, 1
+	}
+	orderMoves(moves)
+	best := moves[0]
+	alpha := -2 * mateScore
+	for _, m := range moves {
+		b.make(m)
+		score := -b.negamax(depth-1, -2*mateScore, -alpha)
+		b.unmake(m)
+		if score > alpha {
+			alpha = score
+			best = m
+		}
+	}
+	return best, alpha, b.nodes
+}

@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rattrap/internal/host"
+)
+
+// Linpack is the mathematical-tools benchmark: dense LU decomposition with
+// partial pivoting followed by triangular solves, "implemented in ordinary
+// Android Java" in the paper — the pure-computation workload with almost
+// no data transfer.
+//
+// Execute really factorizes an n×n system and checks the residual; the
+// analytic flop count (2/3·n³ + 2·n²) scaled by linpackOpsPerFlop models a
+// phone-scale problem (~1650×1650).
+type Linpack struct{}
+
+// NewLinpack returns the Linpack benchmark.
+func NewLinpack() *Linpack { return &Linpack{} }
+
+// Calibration constants: Table II gives a 152 KB APK and under 1 KB of
+// migrated data per request; the flop scale makes a typical solve cost
+// ≈3000 device-mops (≈10 s locally on the phone).
+const (
+	linpackCodeSize    = 152 * host.KB
+	linpackParamBytes  = 500
+	linpackResultBytes = 550
+	linpackOpsPerFlop  = 2000
+)
+
+type linpackParams struct {
+	Seed int64
+	N    int
+}
+
+func (l *Linpack) Name() string         { return NameLinpack }
+func (l *Linpack) CodeSize() host.Bytes { return linpackCodeSize }
+
+// NewTask draws a request: a random system of order 110–149.
+func (l *Linpack) NewTask(rng *rand.Rand, seq int) Task {
+	p := linpackParams{Seed: rng.Int63(), N: 110 + rng.Intn(40)}
+	return Task{
+		App:        NameLinpack,
+		Method:     "solve",
+		Seq:        seq,
+		Params:     encodeParams(p),
+		ParamBytes: linpackParamBytes,
+	}
+}
+
+// Execute factorizes A, solves Ax=b, and verifies the residual.
+func (l *Linpack) Execute(t Task) (Metrics, error) {
+	var p linpackParams
+	if err := decodeParams(t.Params, &p); err != nil {
+		return Metrics{}, fmt.Errorf("linpack: %w", err)
+	}
+	if p.N < 2 || p.N > 2000 {
+		return Metrics{}, fmt.Errorf("linpack: order %d out of range", p.N)
+	}
+	n := p.N
+	rng := rand.New(rand.NewSource(p.Seed))
+	a := make([][]float64, n)
+	orig := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+		orig[i] = make([]float64, n)
+		for j := range a[i] {
+			v := rng.Float64()*2 - 1
+			a[i][j] = v
+			orig[i][j] = v
+		}
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.Float64()*2 - 1
+	}
+	x := append([]float64(nil), b...)
+
+	// LU with partial pivoting, in place, solving as we go.
+	for k := 0; k < n; k++ {
+		// Pivot.
+		piv := k
+		for i := k + 1; i < n; i++ {
+			if math.Abs(a[i][k]) > math.Abs(a[piv][k]) {
+				piv = i
+			}
+		}
+		if a[piv][k] == 0 {
+			return Metrics{}, fmt.Errorf("linpack: singular matrix (n=%d seed=%d)", n, p.Seed)
+		}
+		if piv != k {
+			a[piv], a[k] = a[k], a[piv]
+			x[piv], x[k] = x[k], x[piv]
+		}
+		// Eliminate.
+		for i := k + 1; i < n; i++ {
+			f := a[i][k] / a[k][k]
+			a[i][k] = f
+			for j := k + 1; j < n; j++ {
+				a[i][j] -= f * a[k][j]
+			}
+			x[i] -= f * x[k]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		for j := i + 1; j < n; j++ {
+			x[i] -= a[i][j] * x[j]
+		}
+		x[i] /= a[i][i]
+	}
+	// Residual check against the original system.
+	var resid, norm float64
+	for i := 0; i < n; i++ {
+		sum := -b[i]
+		for j := 0; j < n; j++ {
+			sum += orig[i][j] * x[j]
+			norm += math.Abs(orig[i][j])
+		}
+		resid += math.Abs(sum)
+	}
+	relResid := resid / (norm / float64(n))
+	if relResid > 1e-6 {
+		return Metrics{}, fmt.Errorf("linpack: residual %g too large (n=%d)", relResid, n)
+	}
+
+	nf := float64(n)
+	flops := int64(2.0/3.0*nf*nf*nf + 2*nf*nf)
+	return Metrics{
+		Work:        host.Work(float64(flops) * linpackOpsPerFlop / 1e6),
+		ResultBytes: linpackResultBytes,
+		RealOps:     flops,
+		Output:      fmt.Sprintf("n=%d residual=%.2e", n, relResid),
+	}, nil
+}

@@ -1,0 +1,156 @@
+// Package workload implements the four benchmark applications of §III-A as
+// real algorithms with deterministic work metering:
+//
+//   - OCR (image tools): glyph template matching over a rendered bitmap,
+//     standing in for Tesseract — compute-intensive with file transfer;
+//   - ChessGame (games): an alpha-beta chess engine in the spirit of
+//     CuckooChess — small, chatty, interaction-heavy requests;
+//   - VirusScan (anti-virus): Aho-Corasick multi-pattern search over a
+//     signature database — more I/O than the other benchmarks;
+//   - Linpack (mathematical tools): LU decomposition with partial
+//     pivoting — pure computation.
+//
+// Each Execute call really runs the algorithm on a scaled-down instance and
+// verifies its own output; the counted real operations are multiplied by a
+// documented per-app OpScale to obtain the modeled device-scale work
+// (host.Work), and wire sizes are modeled at paper scale (Table II /
+// Figure 3). Instances are derived entirely from the task parameters, so a
+// task executes identically on the device, in a VM, or in a container —
+// the property the App Warehouse's code cache relies on.
+package workload
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+
+	"rattrap/internal/host"
+)
+
+// Task is one offloadable invocation of an app method.
+type Task struct {
+	// App and Method name the code to run, resolved through the registry
+	// (the analog of the Java-reflection dispatch in the paper's client).
+	App    string
+	Method string
+	// Seq is the request's sequence number at its device.
+	Seq int
+	// Params is the real, decodable parameter blob.
+	Params []byte
+	// ParamBytes is the modeled wire size of parameters + control
+	// metadata at paper scale.
+	ParamBytes host.Bytes
+	// FileBytes is the modeled size of input files that accompany the
+	// request (OCR images, VirusScan targets); zero for file-less apps.
+	FileBytes host.Bytes
+	// RoundTrips is the number of mid-execution client↔cloud exchanges
+	// (games "interact with user continually"); zero for batch apps.
+	RoundTrips int
+	// InteractBytes is the payload of each such exchange, per direction.
+	InteractBytes host.Bytes
+}
+
+// UploadBytes is the modeled size of everything the request pushes to the
+// cloud except mobile code.
+func (t Task) UploadBytes() host.Bytes { return t.ParamBytes + t.FileBytes }
+
+// Metrics describes what executing a task consumed and produced.
+type Metrics struct {
+	// Work is the modeled device-scale computation.
+	Work host.Work
+	// IORead/IOWrite are modeled offloading-I/O volumes (reads of
+	// transferred files and databases, writes of staged inputs).
+	IORead  host.Bytes
+	IOWrite host.Bytes
+	// ResultBytes is the modeled size of the reply payload.
+	ResultBytes host.Bytes
+	// RealOps counts operations the real scaled-down instance performed.
+	RealOps int64
+	// Output is the human-checkable result of the real computation.
+	Output string
+}
+
+// App is one benchmark application.
+type App interface {
+	// Name is the app identifier ("OCR", "ChessGame", ...).
+	Name() string
+	// CodeSize is the modeled APK size pushed on first offload.
+	CodeSize() host.Bytes
+	// NewTask draws the seq-th request for this app from rng.
+	NewTask(rng *rand.Rand, seq int) Task
+	// Execute runs the task for real and returns its metrics. It must be
+	// deterministic in the task parameters.
+	Execute(t Task) (Metrics, error)
+}
+
+// Names of the four benchmark apps.
+const (
+	NameOCR       = "OCR"
+	NameChess     = "ChessGame"
+	NameVirusScan = "VirusScan"
+	NameLinpack   = "Linpack"
+)
+
+// Apps returns fresh instances of all four benchmarks in the paper's order.
+func Apps() []App {
+	return []App{NewOCR(), NewChess(), NewVirusScan(), NewLinpack()}
+}
+
+// ByName returns a fresh instance of the named benchmark.
+func ByName(name string) (App, error) {
+	for _, a := range Apps() {
+		if a.Name() == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("workload: unknown app %q", name)
+}
+
+// Registry resolves app names to instances, caching one instance per app so
+// expensive per-app state (the VirusScan automaton) is built once. It is
+// the cloud-side "reflection" table mapping offloaded class names to code.
+type Registry struct {
+	apps map[string]App
+}
+
+// NewRegistry returns a registry over the four benchmarks.
+func NewRegistry() *Registry {
+	r := &Registry{apps: make(map[string]App)}
+	for _, a := range Apps() {
+		r.apps[a.Name()] = a
+	}
+	return r
+}
+
+// Get resolves an app by name.
+func (r *Registry) Get(name string) (App, error) {
+	a, ok := r.apps[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown app %q", name)
+	}
+	return a, nil
+}
+
+// Execute dispatches a task to its app.
+func (r *Registry) Execute(t Task) (Metrics, error) {
+	a, err := r.Get(t.App)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return a.Execute(t)
+}
+
+// encodeParams gob-encodes app parameters.
+func encodeParams(v any) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		panic(fmt.Sprintf("workload: encoding params: %v", err))
+	}
+	return buf.Bytes()
+}
+
+// decodeParams gob-decodes app parameters.
+func decodeParams(data []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}
