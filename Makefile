@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build vet test race bench bench-realtime ci clean
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Micro-benchmarks for the serving layer and dispatcher hot paths.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkRealtimeRoundtrip|BenchmarkDispatcherAcquire' \
+		-benchmem ./internal/realtime/ ./internal/core/ | tee bench.out
+
+# Regenerates BENCH_realtime.json (event vs ticker driver comparison).
+bench-realtime:
+	$(GO) run ./cmd/rattrap-bench -realtime
+
+ci:
+	./ci.sh
+
+clean:
+	rm -f bench.out

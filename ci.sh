@@ -1,0 +1,27 @@
+#!/bin/sh
+# CI entry point: formatting, vet, build, tests (with the race detector),
+# and the serving-layer micro-benchmarks, archived to bench.out.
+set -eu
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "== benchmarks"
+go test -run '^$' -bench 'BenchmarkRealtimeRoundtrip|BenchmarkDispatcherAcquire' \
+    -benchmem ./internal/realtime/ ./internal/core/ | tee bench.out
+
+echo "== ok"

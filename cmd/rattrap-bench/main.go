@@ -6,6 +6,7 @@
 // Usage:
 //
 //	rattrap-bench [-seed N] [-fig 1|2|3|9|10|11|obs4] [-table 1|2] [-out dir]
+//	rattrap-bench -realtime [-out dir]   # serving-layer latency comparison
 package main
 
 import (
@@ -23,6 +24,7 @@ func main() {
 	fig := flag.String("fig", "", "figure to regenerate: 1, 2, 3, 9, 10, 11 or obs4")
 	table := flag.String("table", "", "table to regenerate: 1 or 2")
 	out := flag.String("out", "", "directory to also write .txt and .csv artifacts to")
+	rt := flag.Bool("realtime", false, "benchmark the realtime serving layer and write BENCH_realtime.json")
 	flag.Parse()
 
 	if *out != "" {
@@ -30,6 +32,14 @@ func main() {
 			fmt.Fprintf(os.Stderr, "rattrap-bench: %v\n", err)
 			os.Exit(1)
 		}
+	}
+
+	if *rt {
+		if err := runRealtimeBench(*out); err != nil {
+			fmt.Fprintf(os.Stderr, "rattrap-bench: realtime: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	all := *fig == "" && *table == ""

@@ -1,0 +1,186 @@
+package main
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"rattrap/internal/core"
+	"rattrap/internal/metrics"
+	"rattrap/internal/offload"
+	"rattrap/internal/realtime"
+	"rattrap/internal/workload"
+)
+
+// The realtime comparison measures the serving layer, not the paper's
+// virtual-time results: warehouse-hit exec roundtrips over loopback TCP
+// against the event-driven driver and the legacy 2 ms ticker baseline.
+const (
+	rtSpeed    = 20000 // virtual task cost shrinks to µs; dispatch dominates
+	rtRequests = 500
+	rtIdleWait = 250 * time.Millisecond
+)
+
+type rtModeReport struct {
+	Requests       int     `json:"requests"`
+	P50Micros      float64 `json:"p50_us"`
+	P95Micros      float64 `json:"p95_us"`
+	P99Micros      float64 `json:"p99_us"`
+	MeanMicros     float64 `json:"mean_us"`
+	MaxMicros      float64 `json:"max_us"`
+	IdleTimerWakes int64   `json:"idle_timer_wakeups"`
+}
+
+type rtReport struct {
+	Workload    string       `json:"workload"`
+	Speed       float64      `json:"speed"`
+	IdleWindow  string       `json:"idle_window"`
+	Event       rtModeReport `json:"event"`
+	Ticker      rtModeReport `json:"ticker"`
+	SpeedupP50X float64      `json:"speedup_p50_x"`
+	SpeedupP99X float64      `json:"speedup_p99_x"`
+}
+
+// runRealtimeBench drives both driver modes and writes BENCH_realtime.json
+// into dir (or the working directory when dir is empty).
+func runRealtimeBench(dir string) error {
+	event, err := measureMode(false)
+	if err != nil {
+		return fmt.Errorf("event mode: %w", err)
+	}
+	ticker, err := measureMode(true)
+	if err != nil {
+		return fmt.Errorf("ticker mode: %w", err)
+	}
+	rep := rtReport{
+		Workload:   workload.NameLinpack + " (n=8, warehouse hit)",
+		Speed:      rtSpeed,
+		IdleWindow: rtIdleWait.String(),
+		Event:      event,
+		Ticker:     ticker,
+	}
+	if event.P50Micros > 0 {
+		rep.SpeedupP50X = ticker.P50Micros / event.P50Micros
+	}
+	if event.P99Micros > 0 {
+		rep.SpeedupP99X = ticker.P99Micros / event.P99Micros
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	path := "BENCH_realtime.json"
+	if dir != "" {
+		path = dir + string(os.PathSeparator) + path
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("realtime roundtrip (p50): event %.0f µs, ticker %.0f µs — %.1fx; report in %s\n",
+		event.P50Micros, ticker.P50Micros, rep.SpeedupP50X, path)
+	return nil
+}
+
+func measureMode(ticker bool) (rtModeReport, error) {
+	cfg := core.DefaultConfig(core.KindRattrap)
+	cfg.IdleTimeout = 0 // keep the pool warm: no reap events in the idle window
+	var srv *realtime.Server
+	if ticker {
+		srv = realtime.NewTickerServer(cfg, rtSpeed, nil)
+	} else {
+		srv = realtime.NewServer(cfg, rtSpeed, nil)
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return rtModeReport{}, err
+	}
+	defer ln.Close()
+	go srv.Serve(ln)
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		return rtModeReport{}, err
+	}
+	defer conn.Close()
+	c := offload.NewConn(conn)
+	if err := c.Send(offload.Frame{Kind: offload.KindHello, Hello: &offload.Hello{DeviceID: "bench"}}); err != nil {
+		return rtModeReport{}, err
+	}
+
+	app, _ := workload.ByName(workload.NameLinpack)
+	aid := offload.AID(app.Name(), app.CodeSize())
+	var pbuf bytes.Buffer
+	if err := gob.NewEncoder(&pbuf).Encode(struct {
+		Seed int64
+		N    int
+	}{Seed: 7, N: 8}); err != nil {
+		return rtModeReport{}, err
+	}
+	params := pbuf.Bytes()
+
+	roundtrip := func(seq int) error {
+		if err := c.Send(offload.Frame{Kind: offload.KindExec, Exec: &offload.ExecRequest{
+			AID: aid, App: app.Name(), Method: "solve", Seq: seq,
+			Params: params, ParamBytes: 500,
+		}}); err != nil {
+			return err
+		}
+		f, err := c.Recv()
+		if err != nil {
+			return err
+		}
+		if f.Kind == offload.KindNeedCode {
+			if err := c.Send(offload.Frame{Kind: offload.KindCode, Code: &offload.CodePush{
+				AID: aid, App: app.Name(), Size: app.CodeSize(),
+			}}); err != nil {
+				return err
+			}
+			if f, err = c.Recv(); err != nil {
+				return err
+			}
+		}
+		if f.Kind != offload.KindResult {
+			return fmt.Errorf("expected result, got %s", f.Kind)
+		}
+		if f.Result.Err != "" {
+			return fmt.Errorf("cloud error: %s", f.Result.Err)
+		}
+		return nil
+	}
+
+	if err := roundtrip(0); err != nil { // warm-up: boot + code staging
+		return rtModeReport{}, err
+	}
+	h := metrics.NewLatencyHistogram()
+	for i := 1; i <= rtRequests; i++ {
+		start := time.Now()
+		if err := roundtrip(i); err != nil {
+			return rtModeReport{}, fmt.Errorf("request %d: %w", i, err)
+		}
+		h.Observe(time.Since(start))
+	}
+
+	// Idle wakeups: with no work pending, the event loop must hold no
+	// timer at all; the ticker keeps firing.
+	before := srv.Driver().TimerWakeups()
+	time.Sleep(rtIdleWait)
+	idle := srv.Driver().TimerWakeups() - before
+
+	p50, p95, p99 := h.Percentiles()
+	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+	return rtModeReport{
+		Requests:       rtRequests,
+		P50Micros:      us(p50),
+		P95Micros:      us(p95),
+		P99Micros:      us(p99),
+		MeanMicros:     us(h.Mean()),
+		MaxMicros:      us(h.Max()),
+		IdleTimerWakes: idle,
+	}, nil
+}

@@ -16,6 +16,17 @@ func (r *Runtime) CodeLoaded(aid string) bool {
 	return ok
 }
 
+// LoadedCodes returns the AIDs the ClassLoader currently holds, in
+// unspecified order. The dispatcher uses it to index idle runtimes by the
+// code they can run without a load.
+func (r *Runtime) LoadedCodes() []string {
+	out := make([]string, 0, len(r.loaded))
+	for aid := range r.loaded {
+		out = append(out, aid)
+	}
+	return out
+}
+
 // LoadCode runs the ClassLoader over a mobile code blob of the given size,
 // blocking p for the dex parse/verify CPU. fromWarehouse adds the read of
 // the blob out of the App Warehouse store; freshly received code is

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"rattrap/internal/host"
+	"rattrap/internal/sim"
+)
+
+// BenchmarkDispatcherAcquire measures an acquire/release cycle against a
+// warm pool: every acquire is an affinity-index hit (the hot path a
+// warehouse-hit request takes), with no boot or code load in the loop.
+func BenchmarkDispatcherAcquire(b *testing.B) {
+	const pool = 8
+	e := sim.NewEngine(1)
+	cfg := DefaultConfig(KindRattrap)
+	cfg.MaxRuntimes = pool
+	cfg.IdleTimeout = 0 // no reap events; the loop stays pure dispatch
+	pl := New(e, cfg)
+
+	aids := make([]string, pool)
+	for i := range aids {
+		aids[i] = fmt.Sprintf("app-%d", i)
+	}
+	e.Spawn("warm", func(p *sim.Proc) {
+		held := make([]*slot, pool)
+		for i := 0; i < pool; i++ {
+			sl, err := pl.acquireSlot(p, aids[i])
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if err := sl.rt.LoadCode(p, aids[i], 4*host.MB, false); err != nil {
+				b.Error(err)
+				return
+			}
+			held[i] = sl
+		}
+		for _, sl := range held {
+			pl.releaseSlot(sl)
+		}
+	})
+	e.Run()
+	if b.Failed() {
+		b.FailNow()
+	}
+
+	b.ResetTimer()
+	e.Spawn("bench", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			sl, err := pl.acquireSlot(p, aids[i%pool])
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			pl.releaseSlot(sl)
+		}
+	})
+	e.Run()
+}

@@ -116,19 +116,31 @@ type Platform struct {
 	sharedLayer *unionfs.Layer // Rattrap: Shared Resource Layer (/system)
 	offloadIO   *unionfs.Mount // Rattrap: shared in-memory offloading I/O
 
-	slots  []*slot
-	waitQ  []*waiter
-	nextID int
+	// Dispatcher state (see dispatch.go): the pool in boot order, a CID
+	// index, the idle free-list, the AID-affinity index, and the FIFO
+	// wait queue.
+	slots    slotList
+	byID     map[string]*slot
+	idle     slotHeap
+	affinity map[string]*slotHeap
+	waitQ    waiterRing
+	nextID   int
 }
 
 type slot struct {
 	id    string
+	seq   int // boot order; dispatch ties break toward the oldest runtime
 	env   android.Env
 	rt    *android.Runtime
 	ctr   *container.Container
 	vmach *vm.VM
 	busy  bool
 	info  *RuntimeInfo
+
+	prev, next *slot           // pl.slots linkage
+	removed    bool            // unlinked from the pool; heap entries are stale
+	inIdle     bool            // has a live entry in pl.idle
+	inAff      map[string]bool // AIDs with a live entry in pl.affinity
 }
 
 type waiter struct {
@@ -154,6 +166,8 @@ func New(e *sim.Engine, cfg Config) *Platform {
 		db:           NewContainerDB(),
 		access:       NewAccessController(cfg.ViolationThreshold),
 		fullManifest: image.AndroidX86(),
+		byID:         make(map[string]*slot),
+		affinity:     make(map[string]*slotHeap),
 	}
 	pl.contManifest = pl.fullManifest.ForContainer()
 	pl.custManifest = pl.fullManifest.Customized()
@@ -207,6 +221,7 @@ func (pl *Platform) BootRuntime(p *sim.Proc) (*RuntimeInfo, error) {
 	}
 	sl.busy = false
 	sl.info.Busy = false
+	pl.enqueueIdle(sl)
 	return sl.info, nil
 }
 
@@ -215,8 +230,9 @@ func (pl *Platform) BootRuntime(p *sim.Proc) (*RuntimeInfo, error) {
 func (pl *Platform) bootSlot(p *sim.Proc) (*slot, error) {
 	pl.nextID++
 	id := fmt.Sprintf("%s-%d", kindSlug(pl.cfg.Kind), pl.nextID)
-	sl := &slot{id: id, busy: true}
-	pl.slots = append(pl.slots, sl)
+	sl := &slot{id: id, seq: pl.nextID, busy: true, inAff: make(map[string]bool)}
+	pl.slots.pushBack(sl)
+	pl.byID[id] = sl
 	start := pl.E.Now()
 
 	fail := func(err error) (*slot, error) {
@@ -335,90 +351,15 @@ func (pl *Platform) slotDiskBytes(sl *slot) host.Bytes {
 }
 
 func (pl *Platform) removeSlot(sl *slot) {
-	for i, s := range pl.slots {
-		if s == sl {
-			pl.slots = append(pl.slots[:i], pl.slots[i+1:]...)
-			break
-		}
+	if sl.removed {
+		return
 	}
+	sl.removed = true
+	pl.slots.remove(sl)
+	delete(pl.byID, sl.id)
 	if sl.info != nil {
 		pl.db.Remove(sl.id)
 	}
-}
-
-// acquireSlot implements the Dispatcher's allocation policy.
-func (pl *Platform) acquireSlot(p *sim.Proc, aid string) (*slot, error) {
-	// 1. Idle runtime that already loaded this code (cache-table CID
-	//    affinity: "saves the time for loading codes").
-	for _, sl := range pl.slots {
-		if !sl.busy && sl.rt != nil && sl.rt.CodeLoaded(aid) {
-			sl.busy = true
-			sl.info.Busy = true
-			return sl, nil
-		}
-	}
-	// 2. Any idle runtime.
-	for _, sl := range pl.slots {
-		if !sl.busy && sl.rt != nil {
-			sl.busy = true
-			sl.info.Busy = true
-			return sl, nil
-		}
-	}
-	// 3. Grow the pool.
-	if len(pl.slots) < pl.cfg.MaxRuntimes {
-		return pl.bootSlot(p)
-	}
-	// 4. Queue FIFO for the next release.
-	w := &waiter{sig: sim.NewSignal(pl.E)}
-	pl.waitQ = append(pl.waitQ, w)
-	p.Wait(w.sig)
-	if w.sl == nil {
-		return nil, errors.New("core: dispatcher queue aborted")
-	}
-	return w.sl, nil
-}
-
-func (pl *Platform) releaseSlot(sl *slot) {
-	sl.info.LastUsed = pl.E.Now()
-	if len(pl.waitQ) > 0 {
-		w := pl.waitQ[0]
-		pl.waitQ = pl.waitQ[1:]
-		w.sl = sl // hand the slot over while still busy
-		w.sig.Fire()
-		return
-	}
-	sl.busy = false
-	sl.info.Busy = false
-	if pl.cfg.IdleTimeout > 0 {
-		pl.scheduleReap(sl, sl.info.LastUsed)
-	}
-}
-
-// scheduleReap arms a reclamation check for a slot that just went idle.
-// The check fires IdleTimeout later and stops the runtime only if it is
-// still the same slot, still idle, and untouched since.
-func (pl *Platform) scheduleReap(sl *slot, asOf sim.Time) {
-	pl.E.After(pl.cfg.IdleTimeout, func() {
-		present := false
-		for _, s := range pl.slots {
-			if s == sl {
-				present = true
-				break
-			}
-		}
-		if !present || sl.busy || sl.info.LastUsed != asOf {
-			return
-		}
-		pl.E.Spawn("reap:"+sl.id, func(p *sim.Proc) {
-			// Re-check: the slot may have been claimed between the event
-			// firing and the proc starting.
-			if sl.busy || sl.info.LastUsed != asOf {
-				return
-			}
-			_ = pl.StopRuntime(p, sl.id)
-		})
-	})
 }
 
 // Prepare implements offload.Gateway: access-control analysis, then
@@ -563,13 +504,7 @@ func (s *session) Release() {
 // last container stops, the Android Container Driver modules are unloaded
 // ("to avoid wasting memory").
 func (pl *Platform) StopRuntime(p *sim.Proc, cid string) error {
-	var sl *slot
-	for _, s := range pl.slots {
-		if s.id == cid {
-			sl = s
-			break
-		}
-	}
+	sl := pl.byID[cid]
 	if sl == nil {
 		return fmt.Errorf("core: no runtime %s", cid)
 	}
@@ -591,7 +526,7 @@ func (pl *Platform) StopRuntime(p *sim.Proc, cid string) error {
 		pl.warehouse.UnbindCID(sl.id)
 	}
 	pl.removeSlot(sl)
-	if pl.cfg.Kind != KindVM && len(pl.slots) == 0 {
+	if pl.cfg.Kind != KindVM && pl.slots.n == 0 {
 		_ = acd.UnloadAll(pl.Kernel) // best effort; fails only if still referenced
 	}
 	return nil
@@ -599,8 +534,10 @@ func (pl *Platform) StopRuntime(p *sim.Proc, cid string) error {
 
 // StopAll stops every idle runtime.
 func (pl *Platform) StopAll(p *sim.Proc) error {
-	for _, sl := range append([]*slot(nil), pl.slots...) {
-		if err := pl.StopRuntime(p, sl.id); err != nil {
+	ids := make([]string, 0, pl.slots.n)
+	pl.slots.each(func(sl *slot) { ids = append(ids, sl.id) })
+	for _, id := range ids {
+		if err := pl.StopRuntime(p, id); err != nil {
 			return err
 		}
 	}
@@ -610,27 +547,23 @@ func (pl *Platform) StopAll(p *sim.Proc) error {
 // RuntimeFS returns a runtime's filesystem view (access-profile
 // measurements like Observation 4 inspect its layers).
 func (pl *Platform) RuntimeFS(cid string) (*unionfs.Mount, bool) {
-	for _, sl := range pl.slots {
-		if sl.id == cid && sl.env != nil {
-			return sl.env.FS(), true
-		}
+	if sl := pl.byID[cid]; sl != nil && sl.env != nil {
+		return sl.env.FS(), true
 	}
 	return nil, false
 }
 
 // RuntimeCount returns the pool size.
-func (pl *Platform) RuntimeCount() int { return len(pl.slots) }
+func (pl *Platform) RuntimeCount() int { return pl.slots.n }
 
 // QueueLength returns how many requests wait for a runtime.
-func (pl *Platform) QueueLength() int { return len(pl.waitQ) }
+func (pl *Platform) QueueLength() int { return pl.waitQ.len() }
 
 // TotalDiskBytes is the platform's storage bill: every runtime's private
 // data plus shared structures charged once.
 func (pl *Platform) TotalDiskBytes() host.Bytes {
 	var t host.Bytes
-	for _, sl := range pl.slots {
-		t += pl.slotDiskBytes(sl)
-	}
+	pl.slots.each(func(sl *slot) { t += pl.slotDiskBytes(sl) })
 	if pl.sharedLayer != nil {
 		t += pl.sharedLayer.Size()
 	}

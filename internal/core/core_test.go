@@ -392,11 +392,11 @@ func TestRattrapRuntimesShareOffloadIO(t *testing.T) {
 		_ = i2
 	})
 	e.Run()
-	for _, sl := range pl.slots {
+	pl.slots.each(func(sl *slot) {
 		if sl.rt.OffloadFS() != pl.OffloadIO() {
 			t.Fatal("runtime not wired to the shared offloading I/O layer")
 		}
-	}
+	})
 }
 
 func TestSecondOptimizedBootIsWarm(t *testing.T) {

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"container/heap"
+	"errors"
+
+	"rattrap/internal/sim"
+)
+
+// This file holds the Dispatcher's allocation machinery. The policy is
+// unchanged from the paper (§IV-B): warehouse-affinity first, then any
+// idle runtime, then boot up to MaxRuntimes, then FIFO queueing — but the
+// implementation is indexed instead of scanned:
+//
+//   - pl.idle is a free-list of idle slots, a min-heap keyed by boot
+//     sequence so the pick is identical to the old in-order scan;
+//   - pl.affinity maps AID → min-heap of idle slots whose ClassLoader
+//     already holds that code (the cache table's AID→CID column, turned
+//     into a dispatch index);
+//   - pl.waitQ is a ring buffer, FIFO without the O(n) re-slicing;
+//   - pl.slots is an intrusive doubly-linked list in boot order plus a
+//     CID map, making removeSlot and StopRuntime lookups O(1).
+//
+// Heap entries are invalidated lazily: claiming a slot leaves its entries
+// in the other heaps, and pops discard entries whose slot is busy,
+// removed, or (for affinity) no longer holds the code. The inIdle/inAff
+// flags guarantee at most one live entry per slot per heap, so heap sizes
+// stay O(slots × loaded codes). Virtual-time behaviour is bit-identical
+// to the scanning dispatcher: both pick the minimum-boot-order eligible
+// slot, and the experiment harness is the oracle for that.
+
+// slotList is the platform's runtime pool in boot order.
+type slotList struct {
+	head, tail *slot
+	n          int
+}
+
+func (l *slotList) pushBack(sl *slot) {
+	sl.prev, sl.next = l.tail, nil
+	if l.tail != nil {
+		l.tail.next = sl
+	} else {
+		l.head = sl
+	}
+	l.tail = sl
+	l.n++
+}
+
+func (l *slotList) remove(sl *slot) {
+	if sl.prev != nil {
+		sl.prev.next = sl.next
+	} else {
+		l.head = sl.next
+	}
+	if sl.next != nil {
+		sl.next.prev = sl.prev
+	} else {
+		l.tail = sl.prev
+	}
+	sl.prev, sl.next = nil, nil
+	l.n--
+}
+
+// each visits every slot in boot order. The callback must not mutate the
+// list; callers that stop runtimes snapshot the IDs first.
+func (l *slotList) each(fn func(*slot)) {
+	for sl := l.head; sl != nil; sl = sl.next {
+		fn(sl)
+	}
+}
+
+// slotHeap is a min-heap of slots keyed by boot sequence.
+type slotHeap []*slot
+
+func (h slotHeap) Len() int           { return len(h) }
+func (h slotHeap) Less(i, j int) bool { return h[i].seq < h[j].seq }
+func (h slotHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *slotHeap) Push(x any)        { *h = append(*h, x.(*slot)) }
+func (h *slotHeap) Pop() any {
+	old := *h
+	n := len(old)
+	sl := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return sl
+}
+
+// waiterRing is the Dispatcher's FIFO request queue as a growable ring
+// buffer: push and pop are O(1) with no per-operation allocation.
+type waiterRing struct {
+	buf  []*waiter
+	head int
+	n    int
+}
+
+func (r *waiterRing) push(w *waiter) {
+	if r.n == len(r.buf) {
+		grown := make([]*waiter, max(8, 2*len(r.buf)))
+		for i := 0; i < r.n; i++ {
+			grown[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf, r.head = grown, 0
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = w
+	r.n++
+}
+
+func (r *waiterRing) pop() *waiter {
+	if r.n == 0 {
+		return nil
+	}
+	w := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return w
+}
+
+func (r *waiterRing) len() int { return r.n }
+
+// enqueueIdle indexes an idle slot: into the free-list and into the
+// affinity heap of every code its runtime holds. Flags dedupe entries —
+// a stale entry left by a lazy pop "revives" when the slot goes idle
+// again, which is exactly the state it advertises.
+func (pl *Platform) enqueueIdle(sl *slot) {
+	if !sl.inIdle {
+		sl.inIdle = true
+		heap.Push(&pl.idle, sl)
+	}
+	for _, aid := range sl.rt.LoadedCodes() {
+		if !sl.inAff[aid] {
+			sl.inAff[aid] = true
+			h := pl.affinity[aid]
+			if h == nil {
+				h = &slotHeap{}
+				pl.affinity[aid] = h
+			}
+			heap.Push(h, sl)
+		}
+	}
+}
+
+// popAffinity claims the earliest-booted idle slot that already holds
+// aid, or nil.
+func (pl *Platform) popAffinity(aid string) *slot {
+	h, ok := pl.affinity[aid]
+	if !ok {
+		return nil
+	}
+	for h.Len() > 0 {
+		sl := heap.Pop(h).(*slot)
+		sl.inAff[aid] = false
+		if sl.removed || sl.busy || !sl.rt.CodeLoaded(aid) {
+			continue // stale entry; discard
+		}
+		if h.Len() == 0 {
+			delete(pl.affinity, aid)
+		}
+		return sl
+	}
+	delete(pl.affinity, aid)
+	return nil
+}
+
+// popIdle claims the earliest-booted idle slot, or nil.
+func (pl *Platform) popIdle() *slot {
+	for pl.idle.Len() > 0 {
+		sl := heap.Pop(&pl.idle).(*slot)
+		sl.inIdle = false
+		if sl.removed || sl.busy {
+			continue
+		}
+		return sl
+	}
+	return nil
+}
+
+// acquireSlot implements the Dispatcher's allocation policy.
+func (pl *Platform) acquireSlot(p *sim.Proc, aid string) (*slot, error) {
+	// 1. Idle runtime that already loaded this code (cache-table CID
+	//    affinity: "saves the time for loading codes").
+	if sl := pl.popAffinity(aid); sl != nil {
+		sl.busy = true
+		sl.info.Busy = true
+		return sl, nil
+	}
+	// 2. Any idle runtime.
+	if sl := pl.popIdle(); sl != nil {
+		sl.busy = true
+		sl.info.Busy = true
+		return sl, nil
+	}
+	// 3. Grow the pool.
+	if pl.slots.n < pl.cfg.MaxRuntimes {
+		return pl.bootSlot(p)
+	}
+	// 4. Queue FIFO for the next release.
+	w := &waiter{sig: sim.NewSignal(pl.E)}
+	pl.waitQ.push(w)
+	p.Wait(w.sig)
+	if w.sl == nil {
+		return nil, errors.New("core: dispatcher queue aborted")
+	}
+	return w.sl, nil
+}
+
+func (pl *Platform) releaseSlot(sl *slot) {
+	sl.info.LastUsed = pl.E.Now()
+	if w := pl.waitQ.pop(); w != nil {
+		w.sl = sl // hand the slot over while still busy
+		w.sig.Fire()
+		return
+	}
+	sl.busy = false
+	sl.info.Busy = false
+	pl.enqueueIdle(sl)
+	if pl.cfg.IdleTimeout > 0 {
+		pl.scheduleReap(sl, sl.info.LastUsed)
+	}
+}
+
+// scheduleReap arms a reclamation check for a slot that just went idle.
+// The check fires IdleTimeout later and stops the runtime only if it is
+// still registered, still idle, and untouched since.
+func (pl *Platform) scheduleReap(sl *slot, asOf sim.Time) {
+	pl.E.After(pl.cfg.IdleTimeout, func() {
+		if sl.removed || sl.busy || sl.info.LastUsed != asOf {
+			return
+		}
+		pl.E.Spawn("reap:"+sl.id, func(p *sim.Proc) {
+			// Re-check: the slot may have been claimed between the event
+			// firing and the proc starting.
+			if sl.busy || sl.info.LastUsed != asOf {
+				return
+			}
+			_ = pl.StopRuntime(p, sl.id)
+		})
+	})
+}

@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// latBuckets covers [1ns, ~9.2s] in power-of-two buckets; bucket i holds
+// durations in [2^i ns, 2^(i+1) ns). Observations beyond the range clamp
+// into the edge buckets.
+const latBuckets = 64
+
+// LatencyHistogram records durations into exponentially spaced buckets and
+// reports approximate quantiles (error bounded by the 2x bucket width,
+// tightened by linear interpolation within a bucket). All methods are safe
+// for concurrent use — the realtime server records every request into one
+// while connection handlers run in parallel.
+type LatencyHistogram struct {
+	counts [latBuckets]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64 // nanoseconds
+	max    atomic.Int64 // nanoseconds
+}
+
+// NewLatencyHistogram returns an empty histogram.
+func NewLatencyHistogram() *LatencyHistogram { return &LatencyHistogram{} }
+
+func latBucket(ns int64) int {
+	if ns < 1 {
+		return 0
+	}
+	idx := bits.Len64(uint64(ns)) - 1 // floor(log2 ns)
+	if idx >= latBuckets {
+		idx = latBuckets - 1
+	}
+	return idx
+}
+
+// Observe records one duration.
+func (h *LatencyHistogram) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[latBucket(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// Count reports how many durations were observed.
+func (h *LatencyHistogram) Count() int64 { return h.count.Load() }
+
+// Mean returns the arithmetic mean of all observations (0 when empty).
+func (h *LatencyHistogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *LatencyHistogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Quantile returns the approximate q-quantile (0 < q ≤ 1) using
+// nearest-rank over the buckets with linear interpolation inside the
+// resolved bucket. It returns 0 when the histogram is empty.
+func (h *LatencyHistogram) Quantile(q float64) time.Duration {
+	if q <= 0 || q > 1 {
+		panic(fmt.Sprintf("metrics: quantile %v out of range", q))
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	var cum int64
+	for i := 0; i < latBuckets; i++ {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			lo := int64(1) << uint(i) // bucket lower bound, ns
+			hi := lo << 1
+			if i == 0 {
+				lo = 0
+			}
+			frac := float64(rank-cum) / float64(c)
+			ns := float64(lo) + frac*float64(hi-lo)
+			if m := h.max.Load(); int64(ns) > m {
+				return time.Duration(m)
+			}
+			return time.Duration(ns)
+		}
+		cum += c
+	}
+	return time.Duration(h.max.Load())
+}
+
+// Percentiles returns the p50/p95/p99 trio the realtime benchmarks report.
+func (h *LatencyHistogram) Percentiles() (p50, p95, p99 time.Duration) {
+	return h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)
+}
+
+// String summarizes the histogram for logs and benchmark output.
+func (h *LatencyHistogram) String() string {
+	p50, p95, p99 := h.Percentiles()
+	return fmt.Sprintf("n=%d p50=%v p95=%v p99=%v max=%v",
+		h.Count(), p50, p95, p99, h.Max())
+}

@@ -1,0 +1,76 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLatencyHistogramQuantiles(t *testing.T) {
+	h := NewLatencyHistogram()
+	if h.Quantile(0.5) != 0 || h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram not zero-valued")
+	}
+	// 100 observations spread over two decades: 1..100 ms.
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != 100*time.Millisecond {
+		t.Fatalf("max = %v", h.Max())
+	}
+	p50, p95, p99 := h.Percentiles()
+	// Power-of-two buckets: the answer is approximate but must stay within
+	// a factor of 2 of the exact percentile.
+	check := func(name string, got, exact time.Duration) {
+		if got < exact/2 || got > exact*2 {
+			t.Fatalf("%s = %v, want within 2x of %v", name, got, exact)
+		}
+	}
+	check("p50", p50, 50*time.Millisecond)
+	check("p95", p95, 95*time.Millisecond)
+	check("p99", p99, 99*time.Millisecond)
+	if p50 > p95 || p95 > p99 {
+		t.Fatalf("quantiles not monotone: %v %v %v", p50, p95, p99)
+	}
+	if h.Quantile(1) > h.Max() {
+		t.Fatalf("q100 %v exceeds max %v", h.Quantile(1), h.Max())
+	}
+	mean := h.Mean()
+	if mean < 40*time.Millisecond || mean > 60*time.Millisecond {
+		t.Fatalf("mean = %v, want ~50.5ms", mean)
+	}
+}
+
+func TestLatencyHistogramEdges(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.Observe(0)
+	h.Observe(-time.Second) // clamped, not a crash
+	h.Observe(time.Nanosecond)
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if q := h.Quantile(0.5); q > time.Nanosecond {
+		t.Fatalf("q50 of sub-ns observations = %v", q)
+	}
+}
+
+func TestLatencyHistogramConcurrent(t *testing.T) {
+	h := NewLatencyHistogram()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(g*1000+i) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+}

@@ -1,0 +1,127 @@
+package realtime
+
+import (
+	"bytes"
+	"encoding/gob"
+	"net"
+	"testing"
+
+	"rattrap/internal/core"
+	"rattrap/internal/offload"
+	"rattrap/internal/workload"
+)
+
+// benchClient drives warehouse-hit roundtrips over one loopback TCP
+// connection, mirroring a device that re-offloads an app already staged
+// in the App Warehouse.
+type benchClient struct {
+	conn   net.Conn
+	c      *offload.Conn
+	app    workload.App
+	aid    string
+	params []byte
+}
+
+func newBenchClient(b *testing.B, addr string) *benchClient {
+	b.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := offload.NewConn(conn)
+	if err := c.Send(offload.Frame{Kind: offload.KindHello, Hello: &offload.Hello{DeviceID: "bench-dev"}}); err != nil {
+		b.Fatal(err)
+	}
+	app, _ := workload.ByName(workload.NameLinpack)
+	return &benchClient{
+		conn: conn, c: c, app: app,
+		aid:    offload.AID(app.Name(), app.CodeSize()),
+		params: tinyParams(b),
+	}
+}
+
+// tinyParams is a deliberately small Linpack system (gob field names match
+// the app's parameter struct): the real factorization costs microseconds,
+// so the measurement isolates dispatch latency instead of payload compute.
+func tinyParams(b *testing.B) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(struct {
+		Seed int64
+		N    int
+	}{Seed: 7, N: 8}); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func (bc *benchClient) roundtrip(b *testing.B, seq int) {
+	if err := bc.c.Send(offload.Frame{Kind: offload.KindExec, Exec: &offload.ExecRequest{
+		AID: bc.aid, App: bc.app.Name(), Method: "solve", Seq: seq,
+		Params: bc.params, ParamBytes: 500,
+	}}); err != nil {
+		b.Fatal(err)
+	}
+	f, err := bc.c.Recv()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if f.Kind == offload.KindNeedCode {
+		if err := bc.c.Send(offload.Frame{Kind: offload.KindCode, Code: &offload.CodePush{
+			AID: bc.aid, App: bc.app.Name(), Size: bc.app.CodeSize(),
+		}}); err != nil {
+			b.Fatal(err)
+		}
+		if f, err = bc.c.Recv(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if f.Kind != offload.KindResult {
+		b.Fatalf("expected result, got %s", f.Kind)
+	}
+	if f.Result.Err != "" {
+		b.Fatalf("cloud error: %s", f.Result.Err)
+	}
+}
+
+// benchSpeed runs virtual time fast enough that the engine-side task cost
+// is small and the measured number is dominated by dispatch latency —
+// the quantity the event-driven driver exists to fix.
+const benchSpeed = 20000
+
+func benchmarkRoundtrip(b *testing.B, ticker bool) {
+	cfg := core.DefaultConfig(core.KindRattrap)
+	var srv *Server
+	if ticker {
+		srv = NewTickerServer(cfg, benchSpeed, nil)
+	} else {
+		srv = NewServer(cfg, benchSpeed, nil)
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer ln.Close()
+
+	bc := newBenchClient(b, ln.Addr().String())
+	defer bc.conn.Close()
+	bc.roundtrip(b, 0) // warm-up: boots the runtime and stages the code
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bc.roundtrip(b, i+1)
+	}
+	b.StopTimer()
+	p50, p95, p99 := srv.Latency().Percentiles()
+	b.ReportMetric(float64(p50.Microseconds()), "p50-us")
+	b.ReportMetric(float64(p95.Microseconds()), "p95-us")
+	b.ReportMetric(float64(p99.Microseconds()), "p99-us")
+}
+
+// BenchmarkRealtimeRoundtrip measures a warehouse-hit exec request over
+// loopback TCP: event-driven pacing versus the legacy 2 ms ticker.
+func BenchmarkRealtimeRoundtrip(b *testing.B) {
+	b.Run("event", func(b *testing.B) { benchmarkRoundtrip(b, false) })
+	b.Run("ticker", func(b *testing.B) { benchmarkRoundtrip(b, true) })
+}

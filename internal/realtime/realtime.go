@@ -4,43 +4,180 @@
 // connections. The exact same core.Platform code serves both the
 // evaluation harness (pure virtual time) and this path — the Clock/
 // Transport split promised in DESIGN.md.
+//
+// # Pacing architecture
+//
+// The driver is event-driven, not tick-driven. Its loop asks the engine
+// for the next pending event (sim.Engine.NextEventAt), converts that
+// virtual instant into a wall deadline, and sleeps on a timer armed for
+// exactly that deadline. Injecting work wakes the loop immediately, and
+// the injector itself drains all work that is already due — so a request
+// whose engine-side cost is zero virtual time (e.g. a warehouse-hit
+// dispatch) completes synchronously on the caller's goroutine with no
+// timer involved at all. When the engine is idle and nothing is being
+// injected, the driver holds no timer and performs no wakeups: idle CPU
+// is zero.
+//
+// # Engine ownership
+//
+// The Driver owns its engine. After Start, every interaction with the
+// engine (and with anything living on it: the platform, sessions,
+// signals) must happen either inside the driver's loop or inside a
+// function passed to Inject/Do — all of which run with the driver's mutex
+// held. Calling Driver methods (Inject, Do, Now, Stop) from *inside* an
+// injected function deadlocks by construction; injected code must use the
+// sim.Proc it is handed instead.
 package realtime
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rattrap/internal/sim"
 )
 
+// clock abstracts the wall clock so driver tests can run on a fake one.
+type clock interface {
+	Now() time.Time
+	// Timer returns a channel that delivers once after d, plus a cancel
+	// function releasing the timer early.
+	Timer(d time.Duration) (<-chan time.Time, func())
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+func (realClock) Timer(d time.Duration) (<-chan time.Time, func()) {
+	t := time.NewTimer(d)
+	return t.C, func() { t.Stop() }
+}
+
 // Driver advances an engine in step with the wall clock. All interaction
-// with the engine (and anything living on it) must go through Inject.
+// with the engine (and anything living on it) must go through Inject/Do;
+// see the package comment for the ownership invariant.
 type Driver struct {
 	mu      sync.Mutex
 	e       *sim.Engine
 	started time.Time
-	stop    chan struct{}
-	done    chan struct{}
+	clk     clock
 	// Speed scales virtual time: 2.0 runs the platform at twice real time
 	// (useful for demos that would otherwise wait out a 30 s VM boot).
 	speed float64
+
+	wake     chan struct{} // capacity 1: kicks the loop to re-plan its sleep
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+
+	// ticker selects the legacy poll-based loop (2 ms quantum). It is kept
+	// only as the baseline for BenchmarkRealtimeRoundtrip and
+	// `rattrap-bench -realtime`; new code should never set it.
+	ticker bool
+
+	// timerWakeups counts loop iterations caused by a timer firing —
+	// the observable for "no wakeups while idle".
+	timerWakeups atomic.Int64
 }
 
-// NewDriver wraps e. speed < = 0 defaults to 1 (real time).
+// NewDriver wraps e with the event-driven pacing loop. speed <= 0
+// defaults to 1 (real time).
 func NewDriver(e *sim.Engine, speed float64) *Driver {
 	if speed <= 0 {
 		speed = 1
 	}
-	return &Driver{e: e, speed: speed, stop: make(chan struct{}), done: make(chan struct{})}
+	return &Driver{
+		e:     e,
+		speed: speed,
+		clk:   realClock{},
+		wake:  make(chan struct{}, 1),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+}
+
+// NewTickerDriver wraps e with the legacy 2 ms polling loop. It exists so
+// benchmarks can measure the event-driven loop against the architecture
+// it replaced; it quantizes every engine interaction to the tick and
+// burns a wakeup every 2 ms even when idle.
+func NewTickerDriver(e *sim.Engine, speed float64) *Driver {
+	d := NewDriver(e, speed)
+	d.ticker = true
+	return d
 }
 
 // Start begins pacing. The engine's virtual time zero is "now".
 func (d *Driver) Start() {
-	d.started = time.Now()
+	d.started = d.clk.Now()
+	if d.ticker {
+		go d.tickerLoop()
+		return
+	}
 	go d.loop()
 }
 
+// wallTarget converts the current wall clock into the virtual instant the
+// engine should have reached. Callers must hold d.mu.
+func (d *Driver) wallTarget() sim.Time {
+	return sim.Time(float64(d.clk.Now().Sub(d.started)) * d.speed)
+}
+
+// wallDeadline converts a virtual instant into the wall-clock moment it
+// is due. Callers must hold d.mu.
+func (d *Driver) wallDeadline(t sim.Time) time.Time {
+	return d.started.Add(time.Duration(float64(t) / d.speed))
+}
+
+// advanceLocked runs the engine up to the current wall target, draining
+// every event that is already due. Callers must hold d.mu.
+func (d *Driver) advanceLocked() {
+	target := d.wallTarget()
+	if target < d.e.Now() {
+		target = d.e.Now()
+	}
+	d.e.RunUntil(target)
+}
+
+// loop is the event-driven pacer: advance, peek the next event, sleep
+// until exactly its wall deadline (or until an inject re-plans it).
 func (d *Driver) loop() {
+	defer close(d.done)
+	for {
+		d.mu.Lock()
+		d.advanceLocked()
+		next, ok := d.e.NextEventAt()
+		d.mu.Unlock()
+
+		var timerC <-chan time.Time // nil (blocks forever) while idle
+		var cancel func()
+		if ok {
+			// started/speed/clk are immutable after Start, so the deadline
+			// math needs no lock.
+			wait := d.wallDeadline(next).Sub(d.clk.Now())
+			if wait <= 0 {
+				// Already due: advance again without sleeping.
+				continue
+			}
+			timerC, cancel = d.clk.Timer(wait)
+		}
+		select {
+		case <-d.stop:
+			if cancel != nil {
+				cancel()
+			}
+			return
+		case <-d.wake:
+			if cancel != nil {
+				cancel()
+			}
+		case <-timerC:
+			d.timerWakeups.Add(1)
+		}
+	}
+}
+
+// tickerLoop is the legacy poll-based pacer (baseline only).
+func (d *Driver) tickerLoop() {
 	defer close(d.done)
 	ticker := time.NewTicker(2 * time.Millisecond)
 	defer ticker.Stop()
@@ -49,45 +186,93 @@ func (d *Driver) loop() {
 		case <-d.stop:
 			return
 		case <-ticker.C:
-			target := sim.Time(float64(time.Since(d.started)) * d.speed)
+			d.timerWakeups.Add(1)
 			d.mu.Lock()
-			if d.e.Now() < target {
-				d.e.RunUntil(target)
-			}
+			d.advanceLocked()
 			d.mu.Unlock()
 		}
 	}
 }
 
-// Stop halts pacing and waits for the loop to exit.
+// kick wakes the loop so it re-plans its sleep after the event queue
+// changed. The channel has capacity 1; a pending kick already covers us.
+func (d *Driver) kick() {
+	select {
+	case d.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Stop halts pacing and waits for the loop to exit. Stop is idempotent.
 func (d *Driver) Stop() {
-	close(d.stop)
+	d.stopOnce.Do(func() { close(d.stop) })
 	<-d.done
+}
+
+// TimerWakeups reports how many times the pacing loop woke because a
+// timer fired. An idle event-driven driver holds at zero; the ticker
+// baseline accumulates ~500/s regardless of load.
+func (d *Driver) TimerWakeups() int64 { return d.timerWakeups.Load() }
+
+// inject spawns fn under the mutex and synchronously drains all work that
+// is due at the current wall target — including fn itself and everything
+// it does in zero virtual time. The critical section covers exactly the
+// engine interaction; channel/closure setup stays outside it.
+func (d *Driver) inject(name string, fn func(p *sim.Proc)) {
+	d.mu.Lock()
+	d.e.Spawn(name, fn)
+	if !d.ticker {
+		d.advanceLocked()
+	}
+	d.mu.Unlock()
+	if !d.ticker {
+		// The spawned proc may have scheduled future events; make the loop
+		// re-plan its sleep around them.
+		d.kick()
+	}
 }
 
 // Inject runs fn as a simulated process and returns a channel that closes
 // when the process finishes. Callers block on the channel from ordinary
 // goroutines; the process itself runs under the driver's pacing, so its
-// virtual-time costs (boots, transfers, compute) take real time.
+// virtual-time costs (boots, transfers, compute) take real time. Work
+// that is due immediately runs before Inject returns, on the calling
+// goroutine.
 func (d *Driver) Inject(name string, fn func(p *sim.Proc)) <-chan struct{} {
 	ch := make(chan struct{})
-	d.mu.Lock()
-	d.e.Spawn(name, func(p *sim.Proc) {
+	d.inject(name, func(p *sim.Proc) {
 		defer close(ch)
 		fn(p)
 	})
-	d.mu.Unlock()
 	return ch
 }
 
-// Do injects fn and waits for it to complete.
+// donePool recycles completion channels across Do calls. A channel is
+// signalled with a buffered send (not a close), received exactly once,
+// and is then empty again — safe to reuse.
+var donePool = sync.Pool{New: func() any { return make(chan struct{}, 1) }}
+
+// Do injects fn and waits for it to complete. Unlike Inject it allocates
+// nothing on the hot path: the completion channel comes from a pool.
 func (d *Driver) Do(name string, fn func(p *sim.Proc)) {
-	<-d.Inject(name, fn)
+	ch := donePool.Get().(chan struct{})
+	d.inject(name, func(p *sim.Proc) {
+		defer func() { ch <- struct{}{} }()
+		fn(p)
+	})
+	<-ch
+	donePool.Put(ch)
 }
 
-// Now returns the engine's current virtual time (paced).
+// Now returns the engine's current virtual time, advancing the engine to
+// the present wall target first so the reading tracks the wall clock even
+// while the loop sleeps toward a distant event. Like Inject, it must not
+// be called from inside an injected function.
 func (d *Driver) Now() sim.Time {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if !d.ticker {
+		d.advanceLocked()
+	}
 	return d.e.Now()
 }

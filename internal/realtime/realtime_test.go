@@ -166,3 +166,96 @@ func (w testWriter) Write(p []byte) (int, error) {
 	w.t.Log(strings.TrimRight(string(p), "\n"))
 	return len(p), nil
 }
+
+// TestServerCloseDrainsInflightHandlers: Close must wait for connection
+// handlers that are mid-request (inside driver injections) before it
+// stops the driver — otherwise the handler's deferred release would race
+// a dead driver.
+func TestServerCloseDrainsInflightHandlers(t *testing.T) {
+	srv := NewServer(core.DefaultConfig(core.KindRattrap), 200, nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	defer ln.Close()
+
+	app, _ := workload.ByName(workload.NameLinpack)
+	inFlight := make(chan struct{})
+	clientDone := make(chan struct{})
+	go func() {
+		defer close(clientDone)
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Error(err)
+			close(inFlight)
+			return
+		}
+		defer conn.Close()
+		c := offload.NewConn(conn)
+		c.Send(offload.Frame{Kind: offload.KindHello, Hello: &offload.Hello{DeviceID: "d"}})
+		task := app.NewTask(testRng(0), 0)
+		aid := offload.AID(app.Name(), app.CodeSize())
+		c.Send(offload.Frame{Kind: offload.KindExec, Exec: &offload.ExecRequest{
+			AID: aid, App: task.App, Method: task.Method, Seq: task.Seq,
+			Params: task.Params, ParamBytes: task.ParamBytes,
+		}})
+		close(inFlight)
+		// The server is being closed under us; any outcome (result,
+		// error, EOF) is acceptable — the point is that Close copes with
+		// a handler mid-request.
+		c.Recv()
+	}()
+
+	<-inFlight
+	time.Sleep(3 * time.Millisecond) // let the handler enter the platform
+
+	closed := make(chan struct{})
+	go func() {
+		srv.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(20 * time.Second):
+		t.Fatal("Close did not return: in-flight handler drain hangs")
+	}
+	ln.Close() // the listener belongs to the caller; Accept unblocks now
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("Serve returned %v after Close, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after Close")
+	}
+	<-clientDone
+}
+
+// TestServerRecordsLatency: every exec request lands one observation in
+// the server's latency histogram.
+func TestServerRecordsLatency(t *testing.T) {
+	srv := NewServer(core.DefaultConfig(core.KindRattrap), 500, nil)
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer ln.Close()
+
+	app, _ := workload.ByName(workload.NameLinpack)
+	for i := 0; i < 3; i++ {
+		if res, _ := runClient(t, ln.Addr().String(), "phone-1", app, i); res.Err != "" {
+			t.Fatalf("request %d: %s", i, res.Err)
+		}
+	}
+	h := srv.Latency()
+	if h.Count() != 3 {
+		t.Fatalf("latency observations = %d, want 3", h.Count())
+	}
+	if h.Quantile(0.5) <= 0 || h.Max() <= 0 {
+		t.Fatalf("degenerate histogram: %s", h)
+	}
+}

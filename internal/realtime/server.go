@@ -7,8 +7,10 @@ import (
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"rattrap/internal/core"
+	"rattrap/internal/metrics"
 	"rattrap/internal/offload"
 	"rattrap/internal/sim"
 )
@@ -19,23 +21,47 @@ type Server struct {
 	drv *Driver
 	pl  *core.Platform
 	log *log.Logger
+	lat *metrics.LatencyHistogram
 
 	mu     sync.Mutex
 	closed bool
 	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup // in-flight connection handlers
 }
 
 // NewServer builds a platform of the given kind and starts its pacing
 // driver. speed scales virtual time (1 = real time).
 func NewServer(cfg core.Config, speed float64, logger *log.Logger) *Server {
+	return newServer(cfg, speed, logger, false)
+}
+
+// NewTickerServer is NewServer on the legacy poll-based driver. It exists
+// only so benchmarks can compare the event-driven pacing against the
+// architecture it replaced.
+func NewTickerServer(cfg core.Config, speed float64, logger *log.Logger) *Server {
+	return newServer(cfg, speed, logger, true)
+}
+
+func newServer(cfg core.Config, speed float64, logger *log.Logger, ticker bool) *Server {
 	e := sim.NewEngine(1)
 	pl := core.New(e, cfg)
-	drv := NewDriver(e, speed)
+	var drv *Driver
+	if ticker {
+		drv = NewTickerDriver(e, speed)
+	} else {
+		drv = NewDriver(e, speed)
+	}
 	drv.Start()
 	if logger == nil {
 		logger = log.New(io.Discard, "", 0)
 	}
-	return &Server{drv: drv, pl: pl, log: logger, conns: make(map[net.Conn]struct{})}
+	return &Server{
+		drv:   drv,
+		pl:    pl,
+		log:   logger,
+		lat:   metrics.NewLatencyHistogram(),
+		conns: make(map[net.Conn]struct{}),
+	}
 }
 
 // Platform exposes the underlying platform (status endpoints, tests).
@@ -43,6 +69,11 @@ func (s *Server) Platform() *core.Platform { return s.pl }
 
 // Driver exposes the pacing driver.
 func (s *Server) Driver() *Driver { return s.drv }
+
+// Latency exposes the wall-clock request-latency histogram: one
+// observation per exec request, measured from frame receipt to result
+// send.
+func (s *Server) Latency() *metrics.LatencyHistogram { return s.lat }
 
 // Serve accepts connections until the listener closes.
 func (s *Server) Serve(ln net.Listener) error {
@@ -54,9 +85,12 @@ func (s *Server) Serve(ln net.Listener) error {
 			}
 			return err
 		}
-		s.track(conn, true)
+		if !s.track(conn) {
+			conn.Close() // lost the race with Close
+			return nil
+		}
 		go func() {
-			defer s.track(conn, false)
+			defer s.untrack(conn)
 			defer conn.Close()
 			if err := s.handle(conn); err != nil && !errors.Is(err, io.EOF) {
 				s.log.Printf("conn %s: %v", conn.RemoteAddr(), err)
@@ -65,14 +99,25 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 }
 
-func (s *Server) track(c net.Conn, add bool) {
+// track registers a connection and its handler; it refuses (returning
+// false) once the server is closed, so Close's drain can't miss a handler
+// started after it swept the connection table.
+func (s *Server) track(c net.Conn) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if add {
-		s.conns[c] = struct{}{}
-	} else {
-		delete(s.conns, c)
+	if s.closed {
+		return false
 	}
+	s.conns[c] = struct{}{}
+	s.wg.Add(1)
+	return true
+}
+
+func (s *Server) untrack(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	s.wg.Done()
 }
 
 func (s *Server) isClosed() bool {
@@ -81,7 +126,9 @@ func (s *Server) isClosed() bool {
 	return s.closed
 }
 
-// Close stops the driver and closes live connections.
+// Close closes live connections, waits for every in-flight handler to
+// drain, and only then stops the driver — so no handler can touch the
+// driver after Stop.
 func (s *Server) Close() {
 	s.mu.Lock()
 	s.closed = true
@@ -89,6 +136,7 @@ func (s *Server) Close() {
 		c.Close()
 	}
 	s.mu.Unlock()
+	s.wg.Wait()
 	s.drv.Stop()
 }
 
@@ -113,55 +161,82 @@ func (s *Server) handle(conn net.Conn) error {
 		if f.Kind != offload.KindExec {
 			return fmt.Errorf("realtime: expected exec, got %s", f.Kind)
 		}
-		if err := s.serveRequest(c, dev, *f.Exec); err != nil {
+		start := time.Now()
+		err = s.serveRequest(c, dev, *f.Exec)
+		s.lat.Observe(time.Since(start))
+		if err != nil {
 			return err
 		}
 	}
 }
 
 // serveRequest runs one request through the platform. Engine-bound steps
-// (prepare, push, execute) run as injected processes, so runtime
-// preparation and execution consume real (paced) time; protocol I/O runs
-// between them on the connection's goroutine.
+// run as injected processes so runtime preparation and execution consume
+// real (paced) time; protocol I/O runs between them on the connection's
+// goroutine. When no code transfer is needed — the warehouse-hit fast
+// path — prepare, execute, and release are batched into a single injected
+// process, so the whole request costs one engine interaction instead of
+// four.
 func (s *Server) serveRequest(c *offload.Conn, dev string, req offload.ExecRequest) error {
 	req.DeviceID = dev
 	var (
-		sess offload.Session
-		err  error
+		sess    offload.Session
+		prepErr error
+		res     offload.Result
+		execErr error
+		fast    bool
 	)
-	s.drv.Do("prepare:"+dev, func(p *sim.Proc) {
-		sess, err = s.pl.Prepare(p, req)
+	s.drv.Do("request:"+dev, func(p *sim.Proc) {
+		sess, prepErr = s.pl.Prepare(p, req)
+		if prepErr != nil || sess.NeedCode() {
+			return // code transfer needs protocol I/O; finish below
+		}
+		res, execErr = sess.Execute(p)
+		sess.Release()
+		fast = true
 	})
+	if prepErr != nil {
+		return c.Send(offload.Frame{Kind: offload.KindResult, Result: &offload.Result{Err: prepErr.Error()}})
+	}
+	if fast {
+		if execErr != nil {
+			res = offload.Result{Err: execErr.Error()}
+		}
+		return c.Send(offload.Frame{Kind: offload.KindResult, Result: &res})
+	}
+
+	// Slow path: the device must transfer the mobile code first.
+	released := false
+	defer func() {
+		if !released {
+			s.drv.Do("release:"+dev, func(p *sim.Proc) { sess.Release() })
+		}
+	}()
+
+	if err := c.Send(offload.Frame{Kind: offload.KindNeedCode}); err != nil {
+		return err
+	}
+	codeFrame, err := c.Recv()
 	if err != nil {
-		return c.Send(offload.Frame{Kind: offload.KindResult, Result: &offload.Result{Err: err.Error()}})
+		return err
 	}
-	defer s.drv.Do("release:"+dev, func(p *sim.Proc) { sess.Release() })
-
-	if sess.NeedCode() {
-		if err := c.Send(offload.Frame{Kind: offload.KindNeedCode}); err != nil {
-			return err
-		}
-		codeFrame, err := c.Recv()
-		if err != nil {
-			return err
-		}
-		if codeFrame.Kind != offload.KindCode {
-			return fmt.Errorf("realtime: expected code, got %s", codeFrame.Kind)
-		}
-		var pushErr error
-		s.drv.Do("push:"+dev, func(p *sim.Proc) {
-			pushErr = sess.PushCode(p, *codeFrame.Code)
-		})
-		if pushErr != nil {
-			return c.Send(offload.Frame{Kind: offload.KindResult, Result: &offload.Result{Err: pushErr.Error()}})
-		}
+	if codeFrame.Kind != offload.KindCode {
+		return fmt.Errorf("realtime: expected code, got %s", codeFrame.Kind)
+	}
+	var pushErr error
+	s.drv.Do("push:"+dev, func(p *sim.Proc) {
+		pushErr = sess.PushCode(p, *codeFrame.Code)
+	})
+	if pushErr != nil {
+		return c.Send(offload.Frame{Kind: offload.KindResult, Result: &offload.Result{Err: pushErr.Error()}})
 	}
 
-	var res offload.Result
-	var execErr error
+	// Execute and release in one injected process.
 	s.drv.Do("exec:"+dev, func(p *sim.Proc) {
 		res, execErr = sess.Execute(p)
+		sess.Release()
 	})
+	released = true
 	if execErr != nil {
 		res = offload.Result{Err: execErr.Error()}
 	}

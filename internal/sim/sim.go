@@ -168,6 +168,22 @@ func (e *Engine) RunUntil(t Time) {
 // yet discarded).
 func (e *Engine) Pending() int { return len(e.events) }
 
+// NextEventAt returns the virtual time of the earliest live (non-cancelled)
+// pending event. It reports false when no live events remain. Cancelled
+// events at the head of the queue are discarded as a side effect, so a
+// pacing driver that sleeps until the returned instant never wakes for an
+// event that will not fire.
+func (e *Engine) NextEventAt() (Time, bool) {
+	for len(e.events) > 0 {
+		if e.events[0].canceled {
+			heap.Pop(&e.events)
+			continue
+		}
+		return e.events[0].at, true
+	}
+	return 0, false
+}
+
 // LiveProcs reports how many spawned Procs have started but not finished.
 // A nonzero value after Run returns usually indicates a deadlocked model.
 func (e *Engine) LiveProcs() int { return e.procs }

@@ -182,3 +182,30 @@ func TestPropertyResourceNeverOvercommits(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestNextEventAt(t *testing.T) {
+	e := NewEngine(1)
+	if _, ok := e.NextEventAt(); ok {
+		t.Fatal("empty engine reported a pending event")
+	}
+	late := e.At(Time(5*time.Second), func() {})
+	early := e.At(Time(time.Second), func() {})
+	if at, ok := e.NextEventAt(); !ok || at != Time(time.Second) {
+		t.Fatalf("NextEventAt = %v, %v; want 1s, true", at, ok)
+	}
+	// Cancelling the head must expose the next live event, not the corpse.
+	early.Cancel()
+	if at, ok := e.NextEventAt(); !ok || at != Time(5*time.Second) {
+		t.Fatalf("after cancel: NextEventAt = %v, %v; want 5s, true", at, ok)
+	}
+	late.Cancel()
+	if _, ok := e.NextEventAt(); ok {
+		t.Fatal("engine with only cancelled events reported a pending event")
+	}
+	// Discarding cancelled heads must not disturb dispatch order.
+	e.At(Time(2*time.Second), func() {})
+	e.RunUntil(Time(3 * time.Second))
+	if e.Now() != Time(3*time.Second) {
+		t.Fatalf("now = %v, want 3s", e.Now())
+	}
+}
