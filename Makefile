@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-realtime ci clean
+.PHONY: all build vet test race fuzz bench bench-realtime bench-faults ci clean
 
 all: ci
 
@@ -21,9 +21,17 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkRealtimeRoundtrip|BenchmarkDispatcherAcquire' \
 		-benchmem ./internal/realtime/ ./internal/core/ | tee bench.out
 
+# Short fuzz pass over the wire-frame codec (CI runs the same smoke).
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzFrameCodec -fuzztime 30s ./internal/offload/
+
 # Regenerates BENCH_realtime.json (event vs ticker driver comparison).
 bench-realtime:
 	$(GO) run ./cmd/rattrap-bench -realtime
+
+# Regenerates BENCH_faults.json (fault-plan robustness sweep).
+bench-faults:
+	$(GO) run ./cmd/rattrap-bench -faults
 
 ci:
 	./ci.sh

@@ -20,6 +20,9 @@ go build ./...
 echo "== go test -race"
 go test -race ./...
 
+echo "== fuzz smoke"
+go test -run '^$' -fuzz FuzzFrameCodec -fuzztime 10s ./internal/offload/
+
 echo "== benchmarks"
 go test -run '^$' -bench 'BenchmarkRealtimeRoundtrip|BenchmarkDispatcherAcquire' \
     -benchmem ./internal/realtime/ ./internal/core/ | tee bench.out

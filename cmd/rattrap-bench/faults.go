@@ -1,0 +1,108 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"rattrap/internal/core"
+	"rattrap/internal/device"
+	"rattrap/internal/experiments"
+	"rattrap/internal/faults"
+	"rattrap/internal/netsim"
+	"rattrap/internal/workload"
+)
+
+// The faults mode sweeps the standard fault-plan suite over the paper's
+// WAN-WiFi setup and reports, per plan, the success rate and response
+// tail with single-attempt clients versus retrying clients. All numbers
+// are virtual-time and deterministic per seed.
+
+type faultModeReport struct {
+	Requests    int     `json:"requests"`
+	Succeeded   int     `json:"succeeded"`
+	SuccessRate float64 `json:"success_rate"`
+	Attempts    int     `json:"attempts"`
+	MeanMs      float64 `json:"mean_ms"`
+	P50Ms       float64 `json:"p50_ms"`
+	P95Ms       float64 `json:"p95_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	MaxMs       float64 `json:"max_ms"`
+}
+
+type faultPlanReport struct {
+	Plan           string          `json:"plan"`
+	InjectedFaults int             `json:"injected_faults"`
+	FaultStats     map[string]int  `json:"fault_stats"`
+	SingleAttempt  faultModeReport `json:"single_attempt"`
+	WithRetries    faultModeReport `json:"with_retries"`
+}
+
+type faultsReport struct {
+	Seed    int64             `json:"seed"`
+	Profile string            `json:"profile"`
+	Plans   []faultPlanReport `json:"plans"`
+}
+
+func modeReport(r *experiments.FaultRunResult) faultModeReport {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return faultModeReport{
+		Requests:    r.Requests,
+		Succeeded:   r.Succeeded,
+		SuccessRate: r.SuccessRate,
+		Attempts:    r.Attempts,
+		MeanMs:      ms(r.Mean),
+		P50Ms:       ms(r.P50),
+		P95Ms:       ms(r.P95),
+		P99Ms:       ms(r.P99),
+		MaxMs:       ms(r.Max),
+	}
+}
+
+// runFaultsBench sweeps the standard plans and writes BENCH_faults.json
+// into dir (or the working directory when dir is empty).
+func runFaultsBench(seed int64, dir string) error {
+	profile := netsim.WANWiFi()
+	rep := faultsReport{Seed: seed, Profile: profile.Name}
+	plans := append([]faults.Plan{faults.Healthy()}, faults.StandardPlans(seed)...)
+	for _, plan := range plans {
+		cfg := experiments.DefaultRun(core.KindRattrap, profile, workload.NameChess, seed)
+		cfg.RequestsPerDevice = 6
+		// Mix in a file-carrying workload so fs.write sites are exercised.
+		cfg.Apps = []string{workload.NameChess, workload.NameOCR}
+		bare, err := experiments.RunFaults(cfg, plan, device.RetryPolicy{}, false)
+		if err != nil {
+			return fmt.Errorf("plan %s (single attempt): %w", plan.Name, err)
+		}
+		robust, err := experiments.RunFaults(cfg, plan, device.RetryPolicy{}, true)
+		if err != nil {
+			return fmt.Errorf("plan %s (retries): %w", plan.Name, err)
+		}
+		rep.Plans = append(rep.Plans, faultPlanReport{
+			Plan:           plan.Name,
+			InjectedFaults: robust.Injected,
+			FaultStats:     robust.FaultStats,
+			SingleAttempt:  modeReport(bare),
+			WithRetries:    modeReport(robust),
+		})
+		fmt.Printf("%-16s  faults=%-3d  single: %5.1f%% ok  |  retries: %5.1f%% ok in %d attempts, p99 %v\n",
+			plan.Name, robust.Injected,
+			100*bare.SuccessRate, 100*robust.SuccessRate, robust.Attempts, robust.P99.Round(time.Millisecond))
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	path := "BENCH_faults.json"
+	if dir != "" {
+		path = dir + string(os.PathSeparator) + path
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("fault-plan report in %s\n", path)
+	return nil
+}

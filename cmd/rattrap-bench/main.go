@@ -7,6 +7,7 @@
 //
 //	rattrap-bench [-seed N] [-fig 1|2|3|9|10|11|obs4] [-table 1|2] [-out dir]
 //	rattrap-bench -realtime [-out dir]   # serving-layer latency comparison
+//	rattrap-bench -faults [-seed N] [-out dir]   # fault-plan robustness sweep
 package main
 
 import (
@@ -25,6 +26,7 @@ func main() {
 	table := flag.String("table", "", "table to regenerate: 1 or 2")
 	out := flag.String("out", "", "directory to also write .txt and .csv artifacts to")
 	rt := flag.Bool("realtime", false, "benchmark the realtime serving layer and write BENCH_realtime.json")
+	flt := flag.Bool("faults", false, "sweep the standard fault plans and write BENCH_faults.json")
 	flag.Parse()
 
 	if *out != "" {
@@ -37,6 +39,14 @@ func main() {
 	if *rt {
 		if err := runRealtimeBench(*out); err != nil {
 			fmt.Fprintf(os.Stderr, "rattrap-bench: realtime: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *flt {
+		if err := runFaultsBench(*seed, *out); err != nil {
+			fmt.Fprintf(os.Stderr, "rattrap-bench: faults: %v\n", err)
 			os.Exit(1)
 		}
 		return

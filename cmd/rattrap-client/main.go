@@ -3,9 +3,15 @@
 // prints results with timings. The first request of an app transfers the
 // mobile code; later requests hit the App Warehouse.
 //
+// Requests are retried with exponential backoff and jitter on transport
+// failures and overload rejections. Retries are safe: the server dedupes
+// on (device, AID, seq), so a request whose result was computed but lost
+// in transit is answered from the server's idempotency window instead of
+// being re-executed.
+//
 // Usage:
 //
-//	rattrap-client [-server localhost:7431] [-app Linpack] [-n 3] [-device phone-1] [-seed 1]
+//	rattrap-client [-server localhost:7431] [-app Linpack] [-n 3] [-device phone-1] [-seed 1] [-retries 4]
 package main
 
 import (
@@ -21,28 +27,111 @@ import (
 	"rattrap/internal/workload"
 )
 
+// client wraps one connection to the server, re-dialing on demand after
+// a transport failure invalidated the previous one.
+type client struct {
+	server   string
+	deviceID string
+	conn     net.Conn
+	c        *offload.Conn
+}
+
+func (cl *client) connect() error {
+	if cl.c != nil {
+		return nil
+	}
+	conn, err := net.Dial("tcp", cl.server)
+	if err != nil {
+		return err
+	}
+	c := offload.NewConn(conn)
+	if err := c.Send(offload.Frame{Kind: offload.KindHello, Hello: &offload.Hello{DeviceID: cl.deviceID}}); err != nil {
+		conn.Close()
+		return fmt.Errorf("hello: %w", err)
+	}
+	cl.conn, cl.c = conn, c
+	return nil
+}
+
+func (cl *client) drop() {
+	if cl.conn != nil {
+		cl.conn.Close()
+	}
+	cl.conn, cl.c = nil, nil
+}
+
+// attempt runs one request exchange. A non-nil error is a transport or
+// protocol failure: the connection is dropped and the caller may retry.
+func (cl *client) attempt(req offload.ExecRequest, app workload.App) (res offload.Result, pushed bool, err error) {
+	if err := cl.connect(); err != nil {
+		return res, false, err
+	}
+	fail := func(err error) (offload.Result, bool, error) {
+		cl.drop()
+		return offload.Result{}, pushed, err
+	}
+	if err := cl.c.Send(offload.Frame{Kind: offload.KindExec, Exec: &req}); err != nil {
+		return fail(fmt.Errorf("exec: %w", err))
+	}
+	f, err := cl.c.Recv()
+	if err != nil {
+		return fail(fmt.Errorf("recv: %w", err))
+	}
+	for f.Kind == offload.KindNeedCode {
+		pushed = true
+		if err := cl.c.Send(offload.Frame{Kind: offload.KindCode, Code: &offload.CodePush{
+			AID: req.AID, App: app.Name(), Size: app.CodeSize(),
+		}}); err != nil {
+			return fail(fmt.Errorf("code push: %w", err))
+		}
+		if f, err = cl.c.Recv(); err != nil {
+			return fail(fmt.Errorf("recv: %w", err))
+		}
+	}
+	if f.Kind != offload.KindResult {
+		return fail(fmt.Errorf("unexpected frame %s", f.Kind))
+	}
+	return *f.Result, pushed, nil
+}
+
+// backoff is the delay before retry number attempt (1-based): base
+// doubled per attempt, capped, with ±25% jitter; an overload rejection's
+// retry-after hint sets the floor.
+func backoff(rng *rand.Rand, base, cap time.Duration, attempt int, retryAfter time.Duration) time.Duration {
+	d := base << uint(attempt-1)
+	if d > cap || d <= 0 {
+		d = cap
+	}
+	d += time.Duration(float64(d) * 0.25 * (2*rng.Float64() - 1))
+	if d < retryAfter {
+		d = retryAfter
+	}
+	return d
+}
+
 func main() {
 	server := flag.String("server", "localhost:7431", "rattrapd address")
 	appName := flag.String("app", workload.NameLinpack, "workload: OCR, ChessGame, VirusScan or Linpack")
 	n := flag.Int("n", 3, "number of offloading requests")
 	deviceID := flag.String("device", "phone-1", "device identifier")
 	seed := flag.Int64("seed", 1, "task generator seed")
+	retries := flag.Int("retries", 4, "max attempts per request (1 disables retrying)")
+	retryBase := flag.Duration("retry-base", 200*time.Millisecond, "initial retry backoff")
 	flag.Parse()
+	if *retries < 1 {
+		*retries = 1
+	}
 
 	app, err := workload.ByName(*appName)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rattrap-client: %v\n", err)
 		os.Exit(2)
 	}
-	conn, err := net.Dial("tcp", *server)
-	if err != nil {
+	cl := &client{server: *server, deviceID: *deviceID}
+	if err := cl.connect(); err != nil {
 		log.Fatalf("rattrap-client: %v", err)
 	}
-	defer conn.Close()
-	c := offload.NewConn(conn)
-	if err := c.Send(offload.Frame{Kind: offload.KindHello, Hello: &offload.Hello{DeviceID: *deviceID}}); err != nil {
-		log.Fatalf("rattrap-client: hello: %v", err)
-	}
+	defer cl.drop()
 
 	rng := rand.New(rand.NewSource(*seed))
 	aid := offload.AID(app.Name(), app.CodeSize())
@@ -54,37 +143,44 @@ func main() {
 			FileBytes: task.FileBytes, RoundTrips: task.RoundTrips, InteractBytes: task.InteractBytes,
 		}
 		start := time.Now()
-		if err := c.Send(offload.Frame{Kind: offload.KindExec, Exec: &req}); err != nil {
-			log.Fatalf("rattrap-client: exec: %v", err)
-		}
-		f, err := c.Recv()
-		if err != nil {
-			log.Fatalf("rattrap-client: recv: %v", err)
-		}
-		pushed := false
-		if f.Kind == offload.KindNeedCode {
-			pushed = true
-			if err := c.Send(offload.Frame{Kind: offload.KindCode, Code: &offload.CodePush{
-				AID: aid, App: app.Name(), Size: app.CodeSize(),
-			}}); err != nil {
-				log.Fatalf("rattrap-client: code push: %v", err)
+		var res offload.Result
+		var pushed bool
+		attempt := 1
+		for ; ; attempt++ {
+			var aerr error
+			res, pushed, aerr = cl.attempt(req, app)
+			retryAfter := time.Duration(0)
+			switch {
+			case aerr == nil && res.Code == offload.CodeOverloaded:
+				retryAfter = res.RetryAfter()
+			case aerr == nil:
+				// A result (success or permanent error): done.
+			default:
+				fmt.Fprintf(os.Stderr, "rattrap-client: req %d attempt %d: %v\n", i, attempt, aerr)
 			}
-			if f, err = c.Recv(); err != nil {
-				log.Fatalf("rattrap-client: recv: %v", err)
+			if aerr == nil && res.Code != offload.CodeOverloaded {
+				break
 			}
-		}
-		if f.Kind != offload.KindResult {
-			log.Fatalf("rattrap-client: unexpected frame %s", f.Kind)
+			if attempt >= *retries {
+				if aerr != nil {
+					log.Fatalf("rattrap-client: req %d failed after %d attempts: %v", i, attempt, aerr)
+				}
+				break // overloaded on the last attempt: report the rejection
+			}
+			time.Sleep(backoff(rng, *retryBase, 5*time.Second, attempt, retryAfter))
 		}
 		elapsed := time.Since(start).Round(time.Millisecond)
-		if f.Result.Err != "" {
-			fmt.Printf("req %d: ERROR after %v: %s\n", i, elapsed, f.Result.Err)
+		if res.Err != "" {
+			fmt.Printf("req %d: ERROR after %v (%d attempts): %s\n", i, elapsed, attempt, res.Err)
 			continue
 		}
 		note := ""
 		if pushed {
 			note = " (mobile code transferred)"
 		}
-		fmt.Printf("req %d: %v%s -> %s\n", i, elapsed, note, f.Result.Output)
+		if attempt > 1 {
+			note += fmt.Sprintf(" (%d attempts)", attempt)
+		}
+		fmt.Printf("req %d: %v%s -> %s\n", i, elapsed, note, res.Output)
 	}
 }

@@ -76,6 +76,12 @@ type Config struct {
 	// "inevitably reduces server resource utilization" (§III-B);
 	// reclamation is what makes Rattrap's 2 s boot a just-in-time story.
 	IdleTimeout time.Duration
+	// MaxQueueDepth, when positive, bounds the Dispatcher's FIFO wait
+	// ring: once that many requests queue for a runtime, further requests
+	// are rejected with offload.OverloadedError (carrying a retry-after
+	// hint) instead of queueing unboundedly. 0 keeps the historical
+	// unbounded behaviour.
+	MaxQueueDepth int
 }
 
 // DefaultConfig mirrors the paper's experimental setup.
@@ -125,6 +131,14 @@ type Platform struct {
 	affinity map[string]*slotHeap
 	waitQ    waiterRing
 	nextID   int
+
+	// holdEWMA tracks how long slots stay claimed (acquire → release); it
+	// feeds the overload rejection's retry-after hint.
+	holdEWMA time.Duration
+
+	// bootFault, when set, is consulted at the start of every runtime
+	// boot (fault injection; see internal/faults).
+	bootFault func(p *sim.Proc, id string) error
 }
 
 type slot struct {
@@ -136,6 +150,8 @@ type slot struct {
 	vmach *vm.VM
 	busy  bool
 	info  *RuntimeInfo
+
+	acquiredAt sim.Time // when the current claim started (hold-time EWMA)
 
 	prev, next *slot           // pl.slots linkage
 	removed    bool            // unlinked from the pool; heap entries are stale
@@ -212,6 +228,11 @@ func (pl *Platform) OffloadIO() *unionfs.Mount { return pl.offloadIO }
 // dispatch table).
 func (pl *Platform) Registry() *workload.Registry { return pl.reg }
 
+// SetBootFault installs a hook consulted at the start of every runtime
+// boot; a non-nil return fails the boot (nil removes the hook). Typically
+// wired to a faults.Injector via its BootHook adapter.
+func (pl *Platform) SetBootFault(fn func(p *sim.Proc, id string) error) { pl.bootFault = fn }
+
 // BootRuntime boots one runtime outside the request path (pool pre-warm
 // and Table I measurements).
 func (pl *Platform) BootRuntime(p *sim.Proc) (*RuntimeInfo, error) {
@@ -230,7 +251,7 @@ func (pl *Platform) BootRuntime(p *sim.Proc) (*RuntimeInfo, error) {
 func (pl *Platform) bootSlot(p *sim.Proc) (*slot, error) {
 	pl.nextID++
 	id := fmt.Sprintf("%s-%d", kindSlug(pl.cfg.Kind), pl.nextID)
-	sl := &slot{id: id, seq: pl.nextID, busy: true, inAff: make(map[string]bool)}
+	sl := &slot{id: id, seq: pl.nextID, busy: true, inAff: make(map[string]bool), acquiredAt: pl.E.Now()}
 	pl.slots.pushBack(sl)
 	pl.byID[id] = sl
 	start := pl.E.Now()
@@ -238,6 +259,12 @@ func (pl *Platform) bootSlot(p *sim.Proc) (*slot, error) {
 	fail := func(err error) (*slot, error) {
 		pl.removeSlot(sl)
 		return nil, fmt.Errorf("core: booting %s: %w", id, err)
+	}
+
+	if pl.bootFault != nil {
+		if err := pl.bootFault(p, id); err != nil {
+			return fail(err)
+		}
 	}
 
 	switch pl.cfg.Kind {
@@ -438,21 +465,34 @@ func (s *session) PushCode(p *sim.Proc, push offload.CodePush) error {
 func (s *session) Execute(p *sim.Proc) (offload.Result, error) {
 	pl, sl, req := s.pl, s.sl, s.req
 	// Warehouse-sourced code load (no device transfer happened).
-	if !sl.rt.CodeLoaded(req.AID) {
+	for !sl.rt.CodeLoaded(req.AID) {
 		if pl.warehouse == nil {
 			return offload.Result{}, fmt.Errorf("core: %s: code %s missing and no warehouse", sl.id, req.AID)
 		}
 		if s.waitPush != nil && !s.waitPush.Fired() {
-			p.Wait(s.waitPush) // the concurrent first push is in flight
+			p.Wait(s.waitPush) // the in-flight first push, or a re-claim's
 		}
-		entry, ok := pl.warehouse.Lookup(req.AID)
-		if !ok {
-			return offload.Result{}, fmt.Errorf("core: %s: warehouse lost %s", sl.id, req.AID)
+		s.waitPush = nil
+		if entry, ok := pl.warehouse.Lookup(req.AID); ok {
+			if err := sl.rt.LoadCode(p, req.AID, entry.Size, true); err != nil {
+				return offload.Result{}, err
+			}
+			pl.warehouse.BindCID(req.AID, sl.id)
+			break
 		}
-		if err := sl.rt.LoadCode(p, req.AID, entry.Size, true); err != nil {
-			return offload.Result{}, err
+		// The claiming device aborted before delivering the code. If some
+		// other waiter already re-claimed the push, wait for it; otherwise
+		// exactly this session re-claims, and its device must transfer the
+		// code after all — surfaced as ErrCodeNeeded so the caller runs
+		// the code-push exchange and calls Execute again.
+		if sig, inflight := pl.warehouse.Inflight(req.AID); inflight {
+			s.waitPush = sig
+			continue
 		}
-		pl.warehouse.BindCID(req.AID, sl.id)
+		pl.warehouse.Claim(pl.E, req.AID)
+		s.claimed = true
+		s.needCode = true
+		return offload.Result{}, offload.ErrCodeNeeded
 	}
 
 	// Request-based access control on the workflows this task performs.

@@ -3,7 +3,9 @@ package core
 import (
 	"container/heap"
 	"errors"
+	"time"
 
+	"rattrap/internal/offload"
 	"rattrap/internal/sim"
 )
 
@@ -180,21 +182,26 @@ func (pl *Platform) acquireSlot(p *sim.Proc, aid string) (*slot, error) {
 	// 1. Idle runtime that already loaded this code (cache-table CID
 	//    affinity: "saves the time for loading codes").
 	if sl := pl.popAffinity(aid); sl != nil {
-		sl.busy = true
-		sl.info.Busy = true
+		pl.claim(sl)
 		return sl, nil
 	}
 	// 2. Any idle runtime.
 	if sl := pl.popIdle(); sl != nil {
-		sl.busy = true
-		sl.info.Busy = true
+		pl.claim(sl)
 		return sl, nil
 	}
 	// 3. Grow the pool.
 	if pl.slots.n < pl.cfg.MaxRuntimes {
 		return pl.bootSlot(p)
 	}
-	// 4. Queue FIFO for the next release.
+	// 4. Bounded admission: with the wait ring at its configured depth,
+	//    reject with a typed overload error and a retry-after hint rather
+	//    than queueing unboundedly — a flood of flaky clients must not pin
+	//    unbounded memory on the cloud side.
+	if pl.cfg.MaxQueueDepth > 0 && pl.waitQ.len() >= pl.cfg.MaxQueueDepth {
+		return nil, &offload.OverloadedError{QueueDepth: pl.waitQ.len(), RetryAfter: pl.retryAfterHint()}
+	}
+	// 5. Queue FIFO for the next release.
 	w := &waiter{sig: sim.NewSignal(pl.E)}
 	pl.waitQ.push(w)
 	p.Wait(w.sig)
@@ -204,10 +211,50 @@ func (pl *Platform) acquireSlot(p *sim.Proc, aid string) (*slot, error) {
 	return w.sl, nil
 }
 
+// claim marks an idle slot busy and stamps the hold start.
+func (pl *Platform) claim(sl *slot) {
+	sl.busy = true
+	sl.info.Busy = true
+	sl.acquiredAt = pl.E.Now()
+}
+
+// noteHold folds one completed claim into the hold-time EWMA (weight 1/4:
+// responsive to load shifts, stable against single outliers).
+func (pl *Platform) noteHold(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if pl.holdEWMA == 0 {
+		pl.holdEWMA = d
+		return
+	}
+	pl.holdEWMA += (d - pl.holdEWMA) / 4
+}
+
+// retryAfterHint estimates how long an overload-rejected client should
+// back off: the queue ahead of it, drained at one slot-hold per runtime.
+func (pl *Platform) retryAfterHint() time.Duration {
+	ewma := pl.holdEWMA
+	if ewma <= 0 {
+		ewma = 250 * time.Millisecond // no completed holds yet; nominal guess
+	}
+	runtimes := pl.cfg.MaxRuntimes
+	if runtimes < 1 {
+		runtimes = 1
+	}
+	hint := ewma * time.Duration(pl.waitQ.len()+1) / time.Duration(runtimes)
+	if hint < 10*time.Millisecond {
+		hint = 10 * time.Millisecond
+	}
+	return hint
+}
+
 func (pl *Platform) releaseSlot(sl *slot) {
 	sl.info.LastUsed = pl.E.Now()
+	pl.noteHold((pl.E.Now() - sl.acquiredAt).Duration())
 	if w := pl.waitQ.pop(); w != nil {
 		w.sl = sl // hand the slot over while still busy
+		sl.acquiredAt = pl.E.Now()
 		w.sig.Fire()
 		return
 	}

@@ -7,10 +7,12 @@
 package device
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
 
+	"rattrap/internal/faults"
 	"rattrap/internal/host"
 	"rattrap/internal/netsim"
 	"rattrap/internal/offload"
@@ -104,13 +106,21 @@ func (d *Device) Offload(p *sim.Proc, task workload.Task, codeSize host.Bytes, g
 		InteractBytes: task.InteractBytes,
 	}
 
-	// Phase: network connection.
-	ph.NetworkConnection = d.Link.Connect(p)
+	// Phase: network connection. A fault here burned the attempt's setup
+	// time (accounted in the phase) but left no connection.
+	connDur, err := d.Link.Connect(p)
+	ph.NetworkConnection = connDur
+	if err != nil {
+		return ph, offload.Result{}, fmt.Errorf("device %s: connect: %w", d.Name, err)
+	}
 
 	// Phase: data transfer (request payload).
-	dur := d.Link.Upload(p, task.UploadBytes()+offload.ControlBytes)
+	dur, err := d.Link.Upload(p, task.UploadBytes()+offload.ControlBytes)
 	ph.DataTransfer += dur
 	upAir += dur
+	if err != nil {
+		return ph, offload.Result{}, fmt.Errorf("device %s: uploading request: %w", d.Name, err)
+	}
 	d.traffic.FileParamUp += task.UploadBytes()
 	d.traffic.ControlUp += offload.ControlBytes
 
@@ -123,28 +133,56 @@ func (d *Device) Offload(p *sim.Proc, task workload.Task, codeSize host.Bytes, g
 	defer sess.Release()
 	ph.RuntimePreparation = (d.E.Now() - prepStart).Duration()
 
-	// Duplicate code transfer happens only when the cloud asks for it.
-	if sess.NeedCode() {
-		dur = d.Link.Download(p, offload.ControlBytes) // NEED_CODE reply
+	// pushCode runs the duplicate-code exchange: NEED_CODE reply down,
+	// code blob up, server-side staging. Used both when Prepare asks up
+	// front and when Execute re-claims a push another device abandoned.
+	pushCode := func() error {
+		dur, err := d.Link.Download(p, offload.ControlBytes) // NEED_CODE reply
 		ph.DataTransfer += dur
 		downAir += dur
+		if err != nil {
+			return fmt.Errorf("device %s: receiving NEED_CODE: %w", d.Name, err)
+		}
 		d.traffic.Down += offload.ControlBytes
-		dur = d.Link.Upload(p, codeSize)
+		dur, err = d.Link.Upload(p, codeSize)
 		ph.DataTransfer += dur
 		upAir += dur
+		if err != nil {
+			return fmt.Errorf("device %s: uploading code: %w", d.Name, err)
+		}
 		d.traffic.CodeUp += codeSize
 		loadStart := d.E.Now()
 		if err := sess.PushCode(p, offload.CodePush{AID: req.AID, App: task.App, Size: codeSize}); err != nil {
-			return ph, offload.Result{}, fmt.Errorf("device %s: pushing code: %w", d.Name, err)
+			return fmt.Errorf("device %s: pushing code: %w", d.Name, err)
 		}
 		// Server-side staging/ClassLoader time counts as preparation.
 		ph.RuntimePreparation += (d.E.Now() - loadStart).Duration()
+		return nil
+	}
+
+	// Duplicate code transfer happens only when the cloud asks for it.
+	if sess.NeedCode() {
+		if err := pushCode(); err != nil {
+			return ph, offload.Result{}, err
+		}
 	}
 
 	// Phase: computation execution, including the client side of any
 	// mid-execution interaction (the server side runs inside Execute).
 	execStart := d.E.Now()
-	res, err := sess.Execute(p)
+	var res offload.Result
+	for {
+		res, err = sess.Execute(p)
+		if errors.Is(err, offload.ErrCodeNeeded) {
+			// The push this session was waiting on aborted and the cloud
+			// handed the claim to us: supply the code, then execute.
+			if perr := pushCode(); perr != nil {
+				return ph, res, perr
+			}
+			continue
+		}
+		break
+	}
 	if err != nil {
 		return ph, res, fmt.Errorf("device %s: %w", d.Name, err)
 	}
@@ -161,9 +199,12 @@ func (d *Device) Offload(p *sim.Proc, task workload.Task, codeSize host.Bytes, g
 	}
 
 	// Phase: data transfer (result download).
-	dur = d.Link.Download(p, res.ResultBytes+offload.ControlBytes)
+	dur, err = d.Link.Download(p, res.ResultBytes+offload.ControlBytes)
 	ph.DataTransfer += dur
 	downAir += dur
+	if err != nil {
+		return ph, res, fmt.Errorf("device %s: downloading result: %w", d.Name, err)
+	}
 	d.traffic.Down += res.ResultBytes + offload.ControlBytes
 
 	d.Meter.AddOffload(d.Radio, power.OffloadBreakdown{
@@ -172,6 +213,79 @@ func (d *Device) Offload(p *sim.Proc, task workload.Task, codeSize host.Bytes, g
 		DownAirtime: downAir,
 	}, reqStart.Duration(), d.E.Now().Duration())
 	return ph, res, nil
+}
+
+// RetryPolicy governs OffloadRetry: exponential backoff with jitter,
+// honoring the cloud's retry-after hint on overload rejections.
+type RetryPolicy struct {
+	MaxAttempts int           // total tries including the first (default 4)
+	BaseDelay   time.Duration // backoff before the first retry (default 200ms)
+	MaxDelay    time.Duration // backoff ceiling (default 5s)
+}
+
+func (rp RetryPolicy) withDefaults() RetryPolicy {
+	if rp.MaxAttempts <= 0 {
+		rp.MaxAttempts = 4
+	}
+	if rp.BaseDelay <= 0 {
+		rp.BaseDelay = 200 * time.Millisecond
+	}
+	if rp.MaxDelay <= 0 {
+		rp.MaxDelay = 5 * time.Second
+	}
+	return rp
+}
+
+// Retryable reports whether an offload failure is worth retrying: injected
+// transport faults (the request may never have reached the cloud) and
+// overload rejections (the cloud asked us to come back). Application
+// errors and protocol violations are permanent.
+func Retryable(err error) bool {
+	return faults.IsTransient(err) || errors.Is(err, offload.ErrOverloaded)
+}
+
+// OffloadRetry runs Offload with up to MaxAttempts tries, sleeping an
+// exponentially growing, jittered backoff between attempts. Retries are
+// safe because requests carry a (DeviceID, Seq) idempotency key: a retry
+// of a request whose result was computed but lost is answered from the
+// server's dedup window without re-executing. Phase durations accumulate
+// across attempts (the device's radio was busy for all of them). It
+// returns the number of attempts made.
+func (d *Device) OffloadRetry(p *sim.Proc, task workload.Task, codeSize host.Bytes, gw offload.Gateway, rp RetryPolicy) (attempts int, ph offload.Phases, res offload.Result, err error) {
+	rp = rp.withDefaults()
+	for attempts = 1; ; attempts++ {
+		var aph offload.Phases
+		aph, res, err = d.Offload(p, task, codeSize, gw)
+		ph.NetworkConnection += aph.NetworkConnection
+		ph.DataTransfer += aph.DataTransfer
+		ph.RuntimePreparation += aph.RuntimePreparation
+		ph.ComputationExecution += aph.ComputationExecution
+		if err == nil || attempts >= rp.MaxAttempts || !Retryable(err) {
+			return attempts, ph, res, err
+		}
+		p.Sleep(d.backoff(rp, attempts, err))
+	}
+}
+
+// backoff computes the pre-retry delay after the attempt'th failure:
+// BaseDelay doubled per attempt, capped at MaxDelay, with ±25% jitter
+// from the device rng (deterministic per seed) to spread retry herds.
+// An overload rejection's retry-after hint sets the floor.
+func (d *Device) backoff(rp RetryPolicy, attempt int, cause error) time.Duration {
+	delay := rp.BaseDelay << uint(attempt-1)
+	if delay > rp.MaxDelay || delay <= 0 {
+		delay = rp.MaxDelay
+	}
+	jitter := time.Duration(float64(delay) * 0.25 * (2*d.rng.Float64() - 1))
+	delay += jitter
+	var over *offload.OverloadedError
+	if errors.As(cause, &over) && delay < over.RetryAfter {
+		delay = over.RetryAfter
+	}
+	if delay < time.Millisecond {
+		delay = time.Millisecond
+	}
+	return delay
 }
 
 // Estimate is the client framework's offload-decision input: predicted

@@ -75,14 +75,28 @@ type Stats struct {
 	ConnectTime time.Duration
 	TransfersUp int
 	TransfersDn int
+	// Faults counts operations that failed from an injected fault.
+	Faults int
 }
+
+// FaultHook is consulted at the start of every link operation. A hook may
+// sleep p to stall the operation; returning a non-nil error fails it (the
+// link charges half the nominal time, modeling a mid-transfer loss, and
+// propagates the error). The op is one of faults.SiteConnect/SiteUpload/
+// SiteDownload ("net.connect", "net.upload", "net.download").
+type FaultHook func(p *sim.Proc, op string, size host.Bytes) error
 
 // Link is one device's path to the cloud under a given profile.
 type Link struct {
 	e     *sim.Engine
 	prof  Profile
 	stats Stats
+	fault FaultHook
 }
+
+// SetFault installs a fault hook (nil removes it). Typically wired to a
+// faults.Injector via its NetHook adapter.
+func (l *Link) SetFault(h FaultHook) { l.fault = h }
 
 // NewLink creates a link on engine e.
 func NewLink(e *sim.Engine, prof Profile) *Link {
@@ -113,52 +127,90 @@ func (l *Link) jittered(d time.Duration) time.Duration {
 	return time.Duration(float64(d) * f)
 }
 
+// applyFault consults the hook. On failure the link charges a fraction of
+// the operation's nominal duration (the fault lands mid-flight, not
+// before the radio keyed up) and reports the error.
+func (l *Link) applyFault(p *sim.Proc, op string, size host.Bytes, nominal time.Duration) error {
+	if l.fault == nil {
+		return nil
+	}
+	if err := l.fault(p, op, size); err != nil {
+		l.stats.Faults++
+		p.Sleep(l.jittered(nominal / 2))
+		return err
+	}
+	return nil
+}
+
 // Connect establishes a connection (TCP three-way handshake plus the
-// profile's setup cost) and returns the time it took.
-func (l *Link) Connect(p *sim.Proc) time.Duration {
-	d := l.jittered(l.prof.ConnSetup + l.prof.RTT*3/2)
+// profile's setup cost) and returns the time it took. A non-nil error is
+// an injected fault: the attempt consumed time but no connection exists.
+func (l *Link) Connect(p *sim.Proc) (time.Duration, error) {
+	t0 := l.e.Now()
+	nominal := l.prof.ConnSetup + l.prof.RTT*3/2
+	if err := l.applyFault(p, "net.connect", 0, nominal); err != nil {
+		return (l.e.Now() - t0).Duration(), err
+	}
+	d := l.jittered(nominal)
 	p.Sleep(d)
 	l.stats.Connections++
 	l.stats.ConnectTime += d
-	return d
+	return (l.e.Now() - t0).Duration(), nil
 }
 
 // Upload transfers size bytes from device to cloud and returns the elapsed
 // time (half an RTT of propagation plus serialization at upstream
-// bandwidth, jittered).
-func (l *Link) Upload(p *sim.Proc, size host.Bytes) time.Duration {
+// bandwidth, jittered). A non-nil error is an injected fault; the elapsed
+// time covers whatever airtime the failed attempt burned.
+func (l *Link) Upload(p *sim.Proc, size host.Bytes) (time.Duration, error) {
+	t0 := l.e.Now()
+	if err := l.applyFault(p, "net.upload", size, l.nominal(size, l.prof.UpMbps)); err != nil {
+		return (l.e.Now() - t0).Duration(), err
+	}
 	d := l.transfer(p, size, l.prof.UpMbps)
 	l.stats.BytesUp += size
 	l.stats.UpAirtime += d
 	l.stats.TransfersUp++
-	return d
+	return (l.e.Now() - t0).Duration(), nil
 }
 
 // Download transfers size bytes from cloud to device and returns the
 // elapsed time.
-func (l *Link) Download(p *sim.Proc, size host.Bytes) time.Duration {
+func (l *Link) Download(p *sim.Proc, size host.Bytes) (time.Duration, error) {
+	t0 := l.e.Now()
+	if err := l.applyFault(p, "net.download", size, l.nominal(size, l.prof.DownMbps)); err != nil {
+		return (l.e.Now() - t0).Duration(), err
+	}
 	d := l.transfer(p, size, l.prof.DownMbps)
 	l.stats.BytesDown += size
 	l.stats.DownAirtime += d
 	l.stats.TransfersDn++
-	return d
+	return (l.e.Now() - t0).Duration(), nil
 }
 
-func (l *Link) transfer(p *sim.Proc, size host.Bytes, mbps float64) time.Duration {
+func (l *Link) nominal(size host.Bytes, mbps float64) time.Duration {
 	if size < 0 {
 		panic("netsim: negative transfer size")
 	}
 	serial := time.Duration(float64(size) * 8 / (mbps * 1e6) * float64(time.Second))
-	d := l.jittered(l.prof.RTT/2 + serial)
+	return l.prof.RTT/2 + serial
+}
+
+func (l *Link) transfer(p *sim.Proc, size host.Bytes, mbps float64) time.Duration {
+	d := l.jittered(l.nominal(size, mbps))
 	p.Sleep(d)
 	return d
 }
 
 // RoundTrip models a small request/response exchange (control messages):
 // one RTT plus serialization of both payloads.
-func (l *Link) RoundTrip(p *sim.Proc, up, down host.Bytes) time.Duration {
+func (l *Link) RoundTrip(p *sim.Proc, up, down host.Bytes) (time.Duration, error) {
 	t0 := l.e.Now()
-	l.Upload(p, up)
-	l.Download(p, down)
-	return (l.e.Now() - t0).Duration()
+	if _, err := l.Upload(p, up); err != nil {
+		return (l.e.Now() - t0).Duration(), err
+	}
+	if _, err := l.Download(p, down); err != nil {
+		return (l.e.Now() - t0).Duration(), err
+	}
+	return (l.e.Now() - t0).Duration(), nil
 }

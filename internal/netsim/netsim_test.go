@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -20,7 +21,7 @@ func TestUploadTiming(t *testing.T) {
 	prof := Profile{Name: "test", RTT: 0, UpMbps: 8, DownMbps: 8, ConnSetup: 0}
 	l := NewLink(e, prof)
 	var d time.Duration
-	e.Spawn("c", func(p *sim.Proc) { d = l.Upload(p, 1_000_000) })
+	e.Spawn("c", func(p *sim.Proc) { d, _ = l.Upload(p, 1_000_000) })
 	e.Run()
 	if d != time.Second {
 		t.Fatalf("upload took %v, want 1s", d)
@@ -32,7 +33,7 @@ func TestLatencyAddsHalfRTT(t *testing.T) {
 	prof := Profile{Name: "test", RTT: 100 * time.Millisecond, UpMbps: 8000, DownMbps: 8000}
 	l := NewLink(e, prof)
 	var d time.Duration
-	e.Spawn("c", func(p *sim.Proc) { d = l.Upload(p, 1000) })
+	e.Spawn("c", func(p *sim.Proc) { d, _ = l.Upload(p, 1000) })
 	e.Run()
 	if d < 50*time.Millisecond || d > 51*time.Millisecond {
 		t.Fatalf("tiny upload took %v, want ~RTT/2 = 50ms", d)
@@ -44,7 +45,7 @@ func TestConnectCost(t *testing.T) {
 	prof := Profile{Name: "test", RTT: 100 * time.Millisecond, UpMbps: 8, DownMbps: 8, ConnSetup: 350 * time.Millisecond}
 	l := NewLink(e, prof)
 	var d time.Duration
-	e.Spawn("c", func(p *sim.Proc) { d = l.Connect(p) })
+	e.Spawn("c", func(p *sim.Proc) { d, _ = l.Connect(p) })
 	e.Run()
 	if d != 500*time.Millisecond { // 350ms + 1.5*100ms
 		t.Fatalf("connect took %v, want 500ms", d)
@@ -61,8 +62,8 @@ func TestAsymmetricBandwidth3G(t *testing.T) {
 	l := NewLink(e, stable(ThreeG()))
 	var up, down time.Duration
 	e.Spawn("c", func(p *sim.Proc) {
-		up = l.Upload(p, 100*host.KB)
-		down = l.Download(p, 100*host.KB)
+		up, _ = l.Upload(p, 100*host.KB)
+		down, _ = l.Download(p, 100*host.KB)
 	})
 	e.Run()
 	if down <= up {
@@ -81,7 +82,8 @@ func TestProfileOrderingLANFastest(t *testing.T) {
 		l := NewLink(e, prof)
 		e.Spawn("c", func(p *sim.Proc) {
 			l.Connect(p)
-			times = append(times, l.Upload(p, payload))
+			d, _ := l.Upload(p, payload)
+			times = append(times, d)
 		})
 	}
 	e.Run()
@@ -117,7 +119,7 @@ func TestRoundTrip(t *testing.T) {
 	prof := Profile{Name: "test", RTT: 100 * time.Millisecond, UpMbps: 8000, DownMbps: 8000}
 	l := NewLink(e, prof)
 	var d time.Duration
-	e.Spawn("c", func(p *sim.Proc) { d = l.RoundTrip(p, 100, 100) })
+	e.Spawn("c", func(p *sim.Proc) { d, _ = l.RoundTrip(p, 100, 100) })
 	e.Run()
 	if d < 100*time.Millisecond || d > 110*time.Millisecond {
 		t.Fatalf("round trip took %v, want ~1 RTT", d)
@@ -129,7 +131,7 @@ func TestJitterDeterministicPerSeed(t *testing.T) {
 		e := sim.NewEngine(7)
 		l := NewLink(e, ThreeG())
 		var d time.Duration
-		e.Spawn("c", func(p *sim.Proc) { d = l.Upload(p, 200*host.KB) })
+		e.Spawn("c", func(p *sim.Proc) { d, _ = l.Upload(p, 200*host.KB) })
 		e.Run()
 		return d
 	}
@@ -144,7 +146,7 @@ func TestJitterNeverNegative(t *testing.T) {
 	l := NewLink(e, prof)
 	e.Spawn("c", func(p *sim.Proc) {
 		for i := 0; i < 200; i++ {
-			if d := l.Upload(p, 1000); d <= 0 {
+			if d, _ := l.Upload(p, 1000); d <= 0 {
 				t.Errorf("transfer %d took %v", i, d)
 			}
 		}
@@ -175,3 +177,44 @@ func TestPaperBandwidths(t *testing.T) {
 		t.Fatalf("WAN WiFi RTT = %v, want the paper's ~60ms", w.RTT)
 	}
 }
+
+func TestFaultHookDropsAndStalls(t *testing.T) {
+	e := sim.NewEngine(1)
+	l := NewLink(e, Profile{Name: "test", RTT: 0, UpMbps: 8, DownMbps: 8})
+	dropNext := false
+	l.SetFault(func(p *sim.Proc, op string, size host.Bytes) error {
+		if dropNext && op == "net.upload" {
+			dropNext = false
+			return errDropped
+		}
+		return nil
+	})
+	var okDur, failDur time.Duration
+	var failErr error
+	e.Spawn("c", func(p *sim.Proc) {
+		okDur, _ = l.Upload(p, 1_000_000) // 1s nominal
+		dropNext = true
+		failDur, failErr = l.Upload(p, 1_000_000)
+	})
+	e.Run()
+	if okDur != time.Second {
+		t.Fatalf("healthy upload took %v, want 1s", okDur)
+	}
+	if failErr == nil {
+		t.Fatal("dropped upload returned no error")
+	}
+	// A dropped transfer burns partial airtime (half nominal) but counts
+	// no bytes.
+	if failDur <= 0 || failDur >= time.Second {
+		t.Fatalf("dropped upload took %v, want (0, 1s)", failDur)
+	}
+	s := l.Stats()
+	if s.Faults != 1 {
+		t.Fatalf("fault count = %d, want 1", s.Faults)
+	}
+	if s.BytesUp != 1_000_000 || s.TransfersUp != 1 {
+		t.Fatalf("dropped transfer polluted stats: %+v", s)
+	}
+}
+
+var errDropped = fmt.Errorf("test: dropped")

@@ -1,15 +1,36 @@
 package offload
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 )
 
 // The real-time wire protocol used by cmd/rattrapd and cmd/rattrap-client:
-// gob-framed messages over a stream. The simulated path models the same
-// exchange with netsim transfer sizes; the message *types* are shared so
-// both paths speak the identical protocol.
+// length-prefixed gob messages over a stream. The simulated path models
+// the same exchange with netsim transfer sizes; the message *types* are
+// shared so both paths speak the identical protocol.
+//
+// Each frame is one uvarint byte length followed by that many bytes of
+// gob-encoded Frame. The explicit length prefix exists so the receiver
+// can reject an oversize frame *before* allocating for it: a bare gob
+// stream accepts an attacker-controlled declared message size and
+// allocates up to its internal 1 GiB ceiling from a single malicious
+// frame. With the prefix, anything above the connection's frame limit is
+// refused with ErrFrameTooLarge at the cost of one uvarint read.
+
+// DefaultMaxFrame bounds a single frame's encoded size. Code pushes carry
+// metadata (the blob itself is modeled by size), and Params payloads are
+// small; 4 MiB leaves two orders of magnitude of headroom.
+const DefaultMaxFrame = 4 << 20
+
+// ErrFrameTooLarge reports a frame whose declared size exceeds the
+// connection's limit. Matches with errors.Is.
+var ErrFrameTooLarge = errors.New("offload: frame exceeds size limit")
 
 // Kind discriminates frames.
 type Kind string
@@ -66,13 +87,24 @@ func (f *Frame) Validate() error {
 
 // Conn frames protocol messages over a byte stream.
 type Conn struct {
-	enc *gob.Encoder
-	dec *gob.Decoder
+	r        *bufio.Reader
+	w        io.Writer
+	maxFrame int
+	sendBuf  bytes.Buffer
+	lenBuf   [binary.MaxVarintLen64]byte
 }
 
-// NewConn wraps a stream (e.g. a net.Conn) in the protocol codec.
-func NewConn(rw io.ReadWriter) *Conn {
-	return &Conn{enc: gob.NewEncoder(rw), dec: gob.NewDecoder(rw)}
+// NewConn wraps a stream (e.g. a net.Conn) in the protocol codec with the
+// default frame-size limit.
+func NewConn(rw io.ReadWriter) *Conn { return NewConnLimit(rw, DefaultMaxFrame) }
+
+// NewConnLimit wraps a stream with an explicit frame-size limit.
+// maxFrame <= 0 selects DefaultMaxFrame.
+func NewConnLimit(rw io.ReadWriter, maxFrame int) *Conn {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	return &Conn{r: bufio.NewReader(rw), w: rw, maxFrame: maxFrame}
 }
 
 // Send writes one frame.
@@ -80,13 +112,41 @@ func (c *Conn) Send(f Frame) error {
 	if err := f.Validate(); err != nil {
 		return err
 	}
-	return c.enc.Encode(&f)
+	c.sendBuf.Reset()
+	if err := gob.NewEncoder(&c.sendBuf).Encode(&f); err != nil {
+		return err
+	}
+	if c.sendBuf.Len() > c.maxFrame {
+		return fmt.Errorf("%w: encoding %d bytes, limit %d", ErrFrameTooLarge, c.sendBuf.Len(), c.maxFrame)
+	}
+	n := binary.PutUvarint(c.lenBuf[:], uint64(c.sendBuf.Len()))
+	if _, err := c.w.Write(c.lenBuf[:n]); err != nil {
+		return err
+	}
+	_, err := c.w.Write(c.sendBuf.Bytes())
+	return err
 }
 
-// Recv reads one frame.
+// Recv reads one frame. A frame whose declared size exceeds the
+// connection's limit is rejected with ErrFrameTooLarge before any
+// payload-sized allocation happens.
 func (c *Conn) Recv() (Frame, error) {
+	size, err := binary.ReadUvarint(c.r)
+	if err != nil {
+		return Frame{}, err
+	}
+	if size > uint64(c.maxFrame) {
+		return Frame{}, fmt.Errorf("%w: declared %d bytes, limit %d", ErrFrameTooLarge, size, c.maxFrame)
+	}
+	buf := make([]byte, int(size))
+	if _, err := io.ReadFull(c.r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
 	var f Frame
-	if err := c.dec.Decode(&f); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(buf)).Decode(&f); err != nil {
 		return Frame{}, err
 	}
 	if err := f.Validate(); err != nil {

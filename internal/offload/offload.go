@@ -10,6 +10,7 @@ package offload
 import (
 	"crypto/sha1"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"time"
 
@@ -51,12 +52,60 @@ type CodePush struct {
 	Size host.Bytes
 }
 
+// Machine-readable error classes carried by Result.Code so clients can
+// tell a retryable condition from their own bug without parsing Err.
+const (
+	// CodeOverloaded: the Dispatcher's wait queue is full; retry after
+	// Result.RetryAfterMs.
+	CodeOverloaded = "overloaded"
+	// CodeProtocol: the client violated the wire protocol (wrong frame
+	// kind, exec before hello, AID mismatch). Not retryable.
+	CodeProtocol = "protocol"
+	// CodeBlocked: the access controller rejected the app. Not retryable.
+	CodeBlocked = "blocked"
+	// CodeInternal: any other cloud-side failure.
+	CodeInternal = "internal"
+)
+
 // Result is the cloud's reply.
 type Result struct {
 	Output      string
 	ResultBytes host.Bytes
 	Err         string
+	// Code classifies Err ("" on success); see the Code* constants.
+	Code string
+	// RetryAfterMs is the cloud's backoff hint for CodeOverloaded.
+	RetryAfterMs int64
 }
+
+// RetryAfter returns the overload backoff hint as a duration.
+func (r Result) RetryAfter() time.Duration {
+	return time.Duration(r.RetryAfterMs) * time.Millisecond
+}
+
+// ErrCodeNeeded is returned by Session.Execute when the session became
+// responsible for delivering the mobile code after all: the device that
+// claimed the first push aborted before completing it, and this session
+// re-claimed. The caller must push the code and call Execute again.
+var ErrCodeNeeded = errors.New("offload: mobile code needed")
+
+// ErrOverloaded matches (via errors.Is) an OverloadedError: the platform
+// refused admission because its wait queue is full.
+var ErrOverloaded = errors.New("offload: platform overloaded")
+
+// OverloadedError is the typed admission rejection, carrying the queue
+// state and a retry-after hint derived from observed service times.
+type OverloadedError struct {
+	QueueDepth int
+	RetryAfter time.Duration
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("offload: platform overloaded (queue depth %d, retry after %v)", e.QueueDepth, e.RetryAfter)
+}
+
+// Is makes errors.Is(err, ErrOverloaded) match.
+func (e *OverloadedError) Is(target error) bool { return target == ErrOverloaded }
 
 // Phases is the paper's decomposition of one offloading request (§III-B).
 type Phases struct {

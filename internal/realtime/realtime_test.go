@@ -148,15 +148,23 @@ func TestServerRejectsProtocolViolations(t *testing.T) {
 	}
 	defer conn.Close()
 	c := offload.NewConn(conn)
-	// Exec before Hello: the server must drop the connection.
+	// Exec before Hello: the server must explain the violation in an
+	// error Result frame, then drop the connection.
 	app, _ := workload.ByName(workload.NameChess)
 	task := app.NewTask(testRng(0), 0)
 	c.Send(offload.Frame{Kind: offload.KindExec, Exec: &offload.ExecRequest{
 		AID: "x", App: task.App, Method: task.Method, Params: task.Params,
 	}})
 	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	f, err := c.Recv()
+	if err != nil {
+		t.Fatalf("expected a protocol-error result frame, got %v", err)
+	}
+	if f.Kind != offload.KindResult || f.Result.Code != offload.CodeProtocol || f.Result.Err == "" {
+		t.Fatalf("violation reply = %+v, want a CodeProtocol result", f)
+	}
 	if _, err := c.Recv(); err == nil {
-		t.Fatal("server answered an exec sent before hello")
+		t.Fatal("server kept the connection open after a protocol violation")
 	}
 }
 

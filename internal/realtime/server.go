@@ -6,6 +6,7 @@ import (
 	"io"
 	"log"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
@@ -15,13 +16,68 @@ import (
 	"rattrap/internal/sim"
 )
 
+// Options tunes the server's robustness envelope. Zero values select the
+// defaults below; negative values disable the corresponding guard.
+type Options struct {
+	// ReadTimeout bounds each intra-request frame read (the hello and the
+	// code push). This is the slow-loris guard: a device that goes silent
+	// mid-exchange is cut off and its pinned runtime slot released,
+	// instead of the handler blocking in Recv forever. Default 15s.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each frame write (a device that stops draining
+	// its socket). Default 15s.
+	WriteTimeout time.Duration
+	// IdleTimeout bounds the wait for the next exec frame on an open
+	// connection. Disabled by default: devices legitimately idle between
+	// requests and hold no platform resources while they do.
+	IdleTimeout time.Duration
+	// RequestTimeout is the wall-clock budget for one request's protocol
+	// exchange, from exec-frame receipt to result send. It tightens the
+	// read deadline of the code-push exchange. Default 2min.
+	RequestTimeout time.Duration
+	// MaxFrame caps the decoded size of any received frame (default
+	// offload.DefaultMaxFrame).
+	MaxFrame int
+	// DedupWindow is how many completed results the server remembers for
+	// idempotent retries, keyed by (DeviceID, AID, Seq). A retry of a
+	// request whose result was computed but lost in transit is answered
+	// from this window without re-executing. Default 256 entries.
+	DedupWindow int
+}
+
+func (o Options) withDefaults() Options {
+	def := func(v *time.Duration, d time.Duration) {
+		switch {
+		case *v == 0:
+			*v = d
+		case *v < 0:
+			*v = 0 // disabled
+		}
+	}
+	def(&o.ReadTimeout, 15*time.Second)
+	def(&o.WriteTimeout, 15*time.Second)
+	def(&o.RequestTimeout, 2*time.Minute)
+	if o.IdleTimeout < 0 {
+		o.IdleTimeout = 0
+	}
+	if o.MaxFrame <= 0 {
+		o.MaxFrame = offload.DefaultMaxFrame
+	}
+	if o.DedupWindow == 0 {
+		o.DedupWindow = 256
+	}
+	return o
+}
+
 // Server serves the offload wire protocol over real connections, backed by
 // a paced core.Platform.
 type Server struct {
-	drv *Driver
-	pl  *core.Platform
-	log *log.Logger
-	lat *metrics.LatencyHistogram
+	drv   *Driver
+	pl    *core.Platform
+	log   *log.Logger
+	lat   *metrics.LatencyHistogram
+	opts  Options
+	dedup *dedupCache
 
 	mu     sync.Mutex
 	closed bool
@@ -30,19 +86,24 @@ type Server struct {
 }
 
 // NewServer builds a platform of the given kind and starts its pacing
-// driver. speed scales virtual time (1 = real time).
+// driver with default Options. speed scales virtual time (1 = real time).
 func NewServer(cfg core.Config, speed float64, logger *log.Logger) *Server {
-	return newServer(cfg, speed, logger, false)
+	return newServer(cfg, speed, logger, false, Options{})
+}
+
+// NewServerOpts is NewServer with explicit robustness Options.
+func NewServerOpts(cfg core.Config, speed float64, logger *log.Logger, opts Options) *Server {
+	return newServer(cfg, speed, logger, false, opts)
 }
 
 // NewTickerServer is NewServer on the legacy poll-based driver. It exists
 // only so benchmarks can compare the event-driven pacing against the
 // architecture it replaced.
 func NewTickerServer(cfg core.Config, speed float64, logger *log.Logger) *Server {
-	return newServer(cfg, speed, logger, true)
+	return newServer(cfg, speed, logger, true, Options{})
 }
 
-func newServer(cfg core.Config, speed float64, logger *log.Logger, ticker bool) *Server {
+func newServer(cfg core.Config, speed float64, logger *log.Logger, ticker bool, opts Options) *Server {
 	e := sim.NewEngine(1)
 	pl := core.New(e, cfg)
 	var drv *Driver
@@ -55,11 +116,18 @@ func newServer(cfg core.Config, speed float64, logger *log.Logger, ticker bool) 
 	if logger == nil {
 		logger = log.New(io.Discard, "", 0)
 	}
+	opts = opts.withDefaults()
+	var dedup *dedupCache
+	if opts.DedupWindow > 0 {
+		dedup = newDedupCache(opts.DedupWindow)
+	}
 	return &Server{
 		drv:   drv,
 		pl:    pl,
 		log:   logger,
 		lat:   metrics.NewLatencyHistogram(),
+		opts:  opts,
+		dedup: dedup,
 		conns: make(map[net.Conn]struct{}),
 	}
 }
@@ -71,8 +139,10 @@ func (s *Server) Platform() *core.Platform { return s.pl }
 func (s *Server) Driver() *Driver { return s.drv }
 
 // Latency exposes the wall-clock request-latency histogram: one
-// observation per exec request, measured from frame receipt to result
-// send.
+// observation per exec request that produced a result frame, measured
+// from frame receipt to result send. Requests cut off by timeouts or
+// protocol violations are not observed — they would poison the tail with
+// connection-failure artifacts that are not request latencies.
 func (s *Server) Latency() *metrics.LatencyHistogram { return s.lat }
 
 // Serve accepts connections until the listener closes.
@@ -140,45 +210,117 @@ func (s *Server) Close() {
 	s.drv.Stop()
 }
 
+// recv reads one frame, bounding the wait with a read deadline when
+// timeout is positive.
+func (s *Server) recv(conn net.Conn, c *offload.Conn, timeout time.Duration) (offload.Frame, error) {
+	if timeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(timeout))
+		defer conn.SetReadDeadline(time.Time{})
+	}
+	return c.Recv()
+}
+
+// send writes one frame under the configured write deadline.
+func (s *Server) send(conn net.Conn, c *offload.Conn, f offload.Frame) error {
+	if d := s.opts.WriteTimeout; d > 0 {
+		conn.SetWriteDeadline(time.Now().Add(d))
+		defer conn.SetWriteDeadline(time.Time{})
+	}
+	return c.Send(f)
+}
+
+// sendProtocolError tells the device why the server is hanging up, on a
+// best-effort basis, before the connection closes. Without this frame a
+// misbehaving client sees only a reset and retries the same violation.
+func (s *Server) sendProtocolError(conn net.Conn, c *offload.Conn, msg string) {
+	_ = s.send(conn, c, offload.Frame{Kind: offload.KindResult, Result: &offload.Result{
+		Err: msg, Code: offload.CodeProtocol,
+	}})
+}
+
 // handle speaks the protocol with one device.
 func (s *Server) handle(conn net.Conn) error {
-	c := offload.NewConn(conn)
-	hello, err := c.Recv()
+	c := offload.NewConnLimit(conn, s.opts.MaxFrame)
+	hello, err := s.recv(conn, c, s.opts.ReadTimeout)
 	if err != nil {
 		return err
 	}
 	if hello.Kind != offload.KindHello {
-		return fmt.Errorf("realtime: expected hello, got %s", hello.Kind)
+		msg := fmt.Sprintf("realtime: expected hello, got %s", hello.Kind)
+		s.sendProtocolError(conn, c, msg)
+		return errors.New(msg)
 	}
 	dev := hello.Hello.DeviceID
 	s.log.Printf("device %s connected", dev)
 
 	for {
-		f, err := c.Recv()
+		f, err := s.recv(conn, c, s.opts.IdleTimeout)
 		if err != nil {
 			return err
 		}
 		if f.Kind != offload.KindExec {
-			return fmt.Errorf("realtime: expected exec, got %s", f.Kind)
+			msg := fmt.Sprintf("realtime: expected exec, got %s", f.Kind)
+			s.sendProtocolError(conn, c, msg)
+			return errors.New(msg)
 		}
 		start := time.Now()
-		err = s.serveRequest(c, dev, *f.Exec)
-		s.lat.Observe(time.Since(start))
+		sent, err := s.serveRequest(conn, c, dev, *f.Exec, start)
+		if sent {
+			s.lat.Observe(time.Since(start))
+		}
 		if err != nil {
 			return err
 		}
 	}
 }
 
-// serveRequest runs one request through the platform. Engine-bound steps
-// run as injected processes so runtime preparation and execution consume
-// real (paced) time; protocol I/O runs between them on the connection's
-// goroutine. When no code transfer is needed — the warehouse-hit fast
-// path — prepare, execute, and release are batched into a single injected
-// process, so the whole request costs one engine interaction instead of
-// four.
-func (s *Server) serveRequest(c *offload.Conn, dev string, req offload.ExecRequest) error {
+// requestRead caps an intra-request read by both the per-read timeout and
+// the request's remaining wall-clock budget.
+func (s *Server) requestRead(start time.Time) (time.Duration, error) {
+	timeout := s.opts.ReadTimeout
+	if s.opts.RequestTimeout > 0 {
+		remaining := s.opts.RequestTimeout - time.Since(start)
+		if remaining <= 0 {
+			return 0, fmt.Errorf("realtime: request exceeded its %v budget", s.opts.RequestTimeout)
+		}
+		if timeout <= 0 || remaining < timeout {
+			timeout = remaining
+		}
+	}
+	return timeout, nil
+}
+
+// errorResult classifies a platform error into a typed Result frame so
+// clients can distinguish retryable overload from permanent failures.
+func errorResult(err error) offload.Result {
+	res := offload.Result{Err: err.Error(), Code: offload.CodeInternal}
+	var over *offload.OverloadedError
+	switch {
+	case errors.As(err, &over):
+		res.Code = offload.CodeOverloaded
+		res.RetryAfterMs = over.RetryAfter.Milliseconds()
+	case errors.Is(err, core.ErrBlocked):
+		res.Code = offload.CodeBlocked
+	}
+	return res
+}
+
+// serveRequest runs one request through the platform and reports whether
+// a result frame was sent (the caller observes latency only then).
+// Engine-bound steps run as injected processes so runtime preparation and
+// execution consume real (paced) time; protocol I/O runs between them on
+// the connection's goroutine. When no code transfer is needed — the
+// warehouse-hit fast path — prepare, execute, and release are batched
+// into a single injected process, so the whole request costs one engine
+// interaction instead of four.
+func (s *Server) serveRequest(conn net.Conn, c *offload.Conn, dev string, req offload.ExecRequest, start time.Time) (sent bool, err error) {
 	req.DeviceID = dev
+	key := dedupKey(dev, req.AID, req.Seq)
+	if res, ok := s.dedup.lookup(key); ok {
+		// Idempotent retry: the result was computed on a previous attempt
+		// and the reply was lost. Answer from the window, don't re-execute.
+		return true, s.send(conn, c, offload.Frame{Kind: offload.KindResult, Result: &res})
+	}
 	var (
 		sess    offload.Session
 		prepErr error
@@ -192,20 +334,30 @@ func (s *Server) serveRequest(c *offload.Conn, dev string, req offload.ExecReque
 			return // code transfer needs protocol I/O; finish below
 		}
 		res, execErr = sess.Execute(p)
+		if errors.Is(execErr, offload.ErrCodeNeeded) {
+			return // re-claimed an aborted push; code exchange below
+		}
 		sess.Release()
 		fast = true
 	})
 	if prepErr != nil {
-		return c.Send(offload.Frame{Kind: offload.KindResult, Result: &offload.Result{Err: prepErr.Error()}})
+		r := errorResult(prepErr)
+		return true, s.send(conn, c, offload.Frame{Kind: offload.KindResult, Result: &r})
 	}
 	if fast {
 		if execErr != nil {
-			res = offload.Result{Err: execErr.Error()}
+			res = errorResult(execErr)
+		} else {
+			s.dedup.store(key, res)
 		}
-		return c.Send(offload.Frame{Kind: offload.KindResult, Result: &res})
+		return true, s.send(conn, c, offload.Frame{Kind: offload.KindResult, Result: &res})
 	}
 
-	// Slow path: the device must transfer the mobile code first.
+	// Slow path: the device must transfer the mobile code first — either
+	// Prepare asked for it up front, or Execute re-claimed a push another
+	// device abandoned. Every early return releases the session, so a
+	// device that stalls mid-exchange cannot pin a runtime slot past the
+	// read deadline.
 	released := false
 	defer func() {
 		if !released {
@@ -213,32 +365,99 @@ func (s *Server) serveRequest(c *offload.Conn, dev string, req offload.ExecReque
 		}
 	}()
 
-	if err := c.Send(offload.Frame{Kind: offload.KindNeedCode}); err != nil {
-		return err
-	}
-	codeFrame, err := c.Recv()
-	if err != nil {
-		return err
-	}
-	if codeFrame.Kind != offload.KindCode {
-		return fmt.Errorf("realtime: expected code, got %s", codeFrame.Kind)
-	}
-	var pushErr error
-	s.drv.Do("push:"+dev, func(p *sim.Proc) {
-		pushErr = sess.PushCode(p, *codeFrame.Code)
-	})
-	if pushErr != nil {
-		return c.Send(offload.Frame{Kind: offload.KindResult, Result: &offload.Result{Err: pushErr.Error()}})
-	}
+	for {
+		if err := s.send(conn, c, offload.Frame{Kind: offload.KindNeedCode}); err != nil {
+			return false, err
+		}
+		timeout, err := s.requestRead(start)
+		if err != nil {
+			return false, err
+		}
+		codeFrame, err := s.recv(conn, c, timeout)
+		if err != nil {
+			return false, err
+		}
+		if codeFrame.Kind != offload.KindCode {
+			msg := fmt.Sprintf("realtime: expected code, got %s", codeFrame.Kind)
+			s.sendProtocolError(conn, c, msg)
+			return false, errors.New(msg)
+		}
+		var pushErr error
+		s.drv.Do("push:"+dev, func(p *sim.Proc) {
+			pushErr = sess.PushCode(p, *codeFrame.Code)
+		})
+		if pushErr != nil {
+			r := errorResult(pushErr)
+			return true, s.send(conn, c, offload.Frame{Kind: offload.KindResult, Result: &r})
+		}
 
-	// Execute and release in one injected process.
-	s.drv.Do("exec:"+dev, func(p *sim.Proc) {
-		res, execErr = sess.Execute(p)
-		sess.Release()
-	})
-	released = true
-	if execErr != nil {
-		res = offload.Result{Err: execErr.Error()}
+		// Execute and release in one injected process.
+		s.drv.Do("exec:"+dev, func(p *sim.Proc) {
+			res, execErr = sess.Execute(p)
+			if errors.Is(execErr, offload.ErrCodeNeeded) {
+				return
+			}
+			sess.Release()
+		})
+		if !errors.Is(execErr, offload.ErrCodeNeeded) {
+			released = true
+			break
+		}
 	}
-	return c.Send(offload.Frame{Kind: offload.KindResult, Result: &res})
+	if execErr != nil {
+		res = errorResult(execErr)
+	} else {
+		s.dedup.store(key, res)
+	}
+	return true, s.send(conn, c, offload.Frame{Kind: offload.KindResult, Result: &res})
+}
+
+// dedupKey identifies a request for the idempotency window.
+func dedupKey(dev, aid string, seq int) string {
+	return dev + "\x00" + aid + "\x00" + strconv.Itoa(seq)
+}
+
+// dedupCache is a bounded map of completed results, FIFO-evicted. A nil
+// cache (DedupWindow < 0) is inert.
+type dedupCache struct {
+	mu    sync.Mutex
+	cap   int
+	res   map[string]offload.Result
+	order []string
+	head  int
+}
+
+func newDedupCache(capacity int) *dedupCache {
+	return &dedupCache{cap: capacity, res: make(map[string]offload.Result, capacity)}
+}
+
+func (dc *dedupCache) lookup(key string) (offload.Result, bool) {
+	if dc == nil {
+		return offload.Result{}, false
+	}
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	r, ok := dc.res[key]
+	return r, ok
+}
+
+func (dc *dedupCache) store(key string, r offload.Result) {
+	if dc == nil {
+		return
+	}
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	if _, exists := dc.res[key]; exists {
+		dc.res[key] = r
+		return
+	}
+	if len(dc.res) >= dc.cap {
+		old := dc.order[dc.head]
+		delete(dc.res, old)
+		dc.order[dc.head] = key
+		dc.head = (dc.head + 1) % dc.cap
+	} else {
+		dc.order = append(dc.order, key)
+	}
+	dc.res[key] = r
 }

@@ -154,6 +154,11 @@ func (l *Layer) WarmCacheOn(h *host.Host) {
 	}
 }
 
+// FaultHook is consulted before each write through a mount. A hook may
+// sleep p to stall the write (a saturated disk); returning a non-nil
+// error fails the write before it lands.
+type FaultHook func(p *sim.Proc, path string, size host.Bytes) error
+
 // Mount is a union view: a writable upper layer over read-only lowers.
 // Lookups go top-down; writes land in the upper via copy-on-write.
 type Mount struct {
@@ -161,7 +166,12 @@ type Mount struct {
 	name     string
 	layers   []*Layer // [0] = upper, rest lower in priority order
 	directIO bool
+	fault    FaultHook
 }
+
+// SetFault installs a write fault hook (nil removes it). Typically wired
+// to a faults.Injector via its FSHook adapter.
+func (m *Mount) SetFault(h FaultHook) { m.fault = h }
 
 // SetDirectIO makes the mount bypass the host page cache. A hypervisor's
 // virtual-disk path (VirtualBox VDI) reads media directly, so two VMs
@@ -251,6 +261,11 @@ func (m *Mount) Read(proc *sim.Proc, p string, efficiency float64) (host.Bytes, 
 // layer, the write copies up into the upper layer first (COW).
 func (m *Mount) Write(proc *sim.Proc, p string, size host.Bytes, data []byte, efficiency float64) error {
 	p = clean(p)
+	if m.fault != nil {
+		if err := m.fault(proc, p, size); err != nil {
+			return fmt.Errorf("unionfs: %s: writing %s: %w", m.name, p, err)
+		}
+	}
 	upper := m.layers[0]
 	if l, n, ok := m.resolve(p); ok && l != upper {
 		// Copy-up: read the lower copy, then write the new version.

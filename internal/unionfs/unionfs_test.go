@@ -1,6 +1,7 @@
 package unionfs
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 	"time"
@@ -314,3 +315,43 @@ func TestPropertyVisibleSizeMatchesList(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestWriteFaultHook(t *testing.T) {
+	e := sim.NewEngine(1)
+	h := newTestHost(e)
+	m, err := NewMount(h, "w", NewTmpfs("scratch"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	failing := true
+	m.SetFault(func(p *sim.Proc, path string, size host.Bytes) error {
+		if failing {
+			return errInjected
+		}
+		p.Sleep(250 * time.Millisecond) // stall, then let the write land
+		return nil
+	})
+	var stallEnd sim.Time
+	e.Spawn("t", func(p *sim.Proc) {
+		if err := m.Write(p, "/a", 100, nil, 1.0); err == nil {
+			t.Error("faulted write succeeded")
+		}
+		if _, ok := m.Stat("/a"); ok {
+			t.Error("failed write landed in the layer")
+		}
+		failing = false
+		if err := m.Write(p, "/a", 100, nil, 1.0); err != nil {
+			t.Errorf("stalled write failed: %v", err)
+		}
+		stallEnd = e.Now()
+	})
+	e.Run()
+	if stallEnd < sim.Time(250*time.Millisecond) {
+		t.Fatalf("stall hook did not delay the write: finished at %v", stallEnd)
+	}
+	if _, ok := m.Stat("/a"); !ok {
+		t.Fatal("stalled write never landed")
+	}
+}
+
+var errInjected = fmt.Errorf("test: injected write fault")
