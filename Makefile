@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz bench bench-realtime bench-faults ci clean
+.PHONY: all build vet test race fuzz bench bench-realtime bench-faults bench-stages ci clean
 
 all: ci
 
@@ -32,6 +32,11 @@ bench-realtime:
 # Regenerates BENCH_faults.json (fault-plan robustness sweep).
 bench-faults:
 	$(GO) run ./cmd/rattrap-bench -faults
+
+# Regenerates BENCH_stages.json (per-stage latency breakdown; fails if
+# two same-seed runs differ or stages stop reconciling with end-to-end).
+bench-stages:
+	$(GO) run ./cmd/rattrap-bench -stages
 
 ci:
 	./ci.sh

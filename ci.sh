@@ -27,4 +27,15 @@ echo "== benchmarks"
 go test -run '^$' -bench 'BenchmarkRealtimeRoundtrip|BenchmarkDispatcherAcquire' \
     -benchmem ./internal/realtime/ ./internal/core/ | tee bench.out
 
+# Artifacts below go to a scratch dir so the checked-in BENCH_*.json
+# baselines stay untouched; the gates compare against the committed files.
+scratch=$(mktemp -d)
+trap 'rm -rf "$scratch"' EXIT
+
+echo "== stage breakdown (determinism + reconcile gate)"
+go run ./cmd/rattrap-bench -stages -out "$scratch"
+
+echo "== realtime latency gate (p50 vs checked-in baseline)"
+go run ./cmd/rattrap-bench -realtime -out "$scratch" -baseline BENCH_realtime.json
+
 echo "== ok"

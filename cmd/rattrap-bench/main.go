@@ -6,8 +6,9 @@
 // Usage:
 //
 //	rattrap-bench [-seed N] [-fig 1|2|3|9|10|11|obs4] [-table 1|2] [-out dir]
-//	rattrap-bench -realtime [-out dir]   # serving-layer latency comparison
+//	rattrap-bench -realtime [-out dir] [-baseline BENCH_realtime.json]   # serving-layer latency comparison
 //	rattrap-bench -faults [-seed N] [-out dir]   # fault-plan robustness sweep
+//	rattrap-bench -stages [-seed N] [-out dir]   # per-stage latency breakdown (deterministic)
 package main
 
 import (
@@ -26,7 +27,9 @@ func main() {
 	table := flag.String("table", "", "table to regenerate: 1 or 2")
 	out := flag.String("out", "", "directory to also write .txt and .csv artifacts to")
 	rt := flag.Bool("realtime", false, "benchmark the realtime serving layer and write BENCH_realtime.json")
+	baseline := flag.String("baseline", "", "with -realtime: fail if event-mode p50 regressed >3x vs this BENCH_realtime.json")
 	flt := flag.Bool("faults", false, "sweep the standard fault plans and write BENCH_faults.json")
+	stages := flag.Bool("stages", false, "emit the per-stage latency breakdown as BENCH_stages.json")
 	flag.Parse()
 
 	if *out != "" {
@@ -37,8 +40,16 @@ func main() {
 	}
 
 	if *rt {
-		if err := runRealtimeBench(*out); err != nil {
+		if err := runRealtimeBench(*out, *baseline); err != nil {
 			fmt.Fprintf(os.Stderr, "rattrap-bench: realtime: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *stages {
+		if err := runStagesBench(*seed, *out); err != nil {
+			fmt.Fprintf(os.Stderr, "rattrap-bench: stages: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -7,10 +7,12 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"strings"
 	"time"
 
 	"rattrap/internal/core"
 	"rattrap/internal/metrics"
+	"rattrap/internal/obs"
 	"rattrap/internal/offload"
 	"rattrap/internal/realtime"
 	"rattrap/internal/workload"
@@ -33,6 +35,11 @@ type rtModeReport struct {
 	MeanMicros     float64 `json:"mean_us"`
 	MaxMicros      float64 `json:"max_us"`
 	IdleTimerWakes int64   `json:"idle_timer_wakeups"`
+	// Stages is the server's virtual-time per-stage breakdown (stage.* and
+	// server.stage.* histograms from /metrics); Counters are the platform
+	// and server counters after the run.
+	Stages   map[string]obs.HistStat `json:"stages,omitempty"`
+	Counters map[string]int64        `json:"counters,omitempty"`
 }
 
 type rtReport struct {
@@ -46,8 +53,10 @@ type rtReport struct {
 }
 
 // runRealtimeBench drives both driver modes and writes BENCH_realtime.json
-// into dir (or the working directory when dir is empty).
-func runRealtimeBench(dir string) error {
+// into dir (or the working directory when dir is empty). When baseline
+// names a previous report, the run fails if the event-mode p50 regressed
+// more than rtRegressionFactor against it — the CI latency gate.
+func runRealtimeBench(dir, baseline string) error {
 	event, err := measureMode(false)
 	if err != nil {
 		return fmt.Errorf("event mode: %w", err)
@@ -83,6 +92,38 @@ func runRealtimeBench(dir string) error {
 	}
 	fmt.Printf("realtime roundtrip (p50): event %.0f µs, ticker %.0f µs — %.1fx; report in %s\n",
 		event.P50Micros, ticker.P50Micros, rep.SpeedupP50X, path)
+	if baseline != "" {
+		return checkRegression(baseline, event.P50Micros)
+	}
+	return nil
+}
+
+// rtRegressionFactor is how much the event-mode p50 may grow against the
+// checked-in baseline before the run fails (loopback latencies on shared
+// CI machines are noisy; 3x catches real regressions, not scheduler
+// jitter).
+const rtRegressionFactor = 3.0
+
+// checkRegression compares the measured event-mode p50 against the
+// baseline report at path.
+func checkRegression(path string, p50us float64) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var base rtReport
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	if base.Event.P50Micros <= 0 {
+		return fmt.Errorf("baseline %s has no event-mode p50", path)
+	}
+	ratio := p50us / base.Event.P50Micros
+	if ratio > rtRegressionFactor {
+		return fmt.Errorf("event-mode p50 regressed %.1fx vs baseline %s (%.0f µs now, %.0f µs then; limit %.0fx)",
+			ratio, path, p50us, base.Event.P50Micros, rtRegressionFactor)
+	}
+	fmt.Printf("p50 vs baseline %s: %.2fx (limit %.0fx) — ok\n", path, ratio, rtRegressionFactor)
 	return nil
 }
 
@@ -174,6 +215,17 @@ func measureMode(ticker bool) (rtModeReport, error) {
 
 	p50, p95, p99 := h.Percentiles()
 	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+	// Per-stage virtual-time breakdown and platform counters, scraped from
+	// the same registry /metrics serves.
+	snap := srv.Metrics().Snapshot()
+	stages := make(map[string]obs.HistStat)
+	for name, st := range snap.Histograms {
+		if strings.HasPrefix(name, "stage.") || strings.HasPrefix(name, "server.stage.") {
+			stages[name] = st
+		}
+	}
+
 	return rtModeReport{
 		Requests:       rtRequests,
 		P50Micros:      us(p50),
@@ -182,5 +234,7 @@ func measureMode(ticker bool) (rtModeReport, error) {
 		MeanMicros:     us(h.Mean()),
 		MaxMicros:      us(h.Max()),
 		IdleTimerWakes: idle,
+		Stages:         stages,
+		Counters:       snap.Counters,
 	}, nil
 }

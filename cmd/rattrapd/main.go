@@ -3,9 +3,13 @@
 // boots, execution) is paced against the wall clock; -speed scales it for
 // demos (e.g. -speed 10 makes a 30 s VM boot take 3 s).
 //
+// With -http the daemon also serves an observability endpoint:
+// GET /metrics (plain text; ?format=json for JSON; ?hist=NAME&q=0.99 for
+// one quantile) and the standard /debug/pprof profiles.
+//
 // Usage:
 //
-//	rattrapd [-listen :7431] [-platform rattrap|rattrap-wo|vm] [-speed 1] [-max-runtimes 5]
+//	rattrapd [-listen :7431] [-platform rattrap|rattrap-wo|vm] [-speed 1] [-max-runtimes 5] [-http :7432]
 package main
 
 import (
@@ -13,9 +17,12 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 
 	"rattrap/internal/core"
+	"rattrap/internal/obs"
 	"rattrap/internal/realtime"
 )
 
@@ -24,6 +31,7 @@ func main() {
 	platform := flag.String("platform", "rattrap", "platform kind: rattrap, rattrap-wo or vm")
 	speed := flag.Float64("speed", 1, "virtual-time speedup factor")
 	maxRuntimes := flag.Int("max-runtimes", 5, "runtime pool cap")
+	httpAddr := flag.String("http", "", "observability listen address (/metrics, /debug/pprof); empty disables")
 	flag.Parse()
 
 	var kind core.Kind
@@ -44,6 +52,26 @@ func main() {
 	logger := log.New(os.Stderr, "rattrapd: ", log.LstdFlags)
 	srv := realtime.NewServer(cfg, *speed, logger)
 	defer srv.Close()
+
+	if *httpAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.Handler(srv.Metrics()))
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		hln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("observability on http://%s/metrics (+ /debug/pprof)", hln.Addr())
+		go func() {
+			if err := http.Serve(hln, mux); err != nil {
+				logger.Printf("observability server: %v", err)
+			}
+		}()
+	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {

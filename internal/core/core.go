@@ -29,6 +29,7 @@ import (
 	"rattrap/internal/host"
 	"rattrap/internal/image"
 	"rattrap/internal/kernel"
+	"rattrap/internal/obs"
 	"rattrap/internal/offload"
 	"rattrap/internal/sim"
 	"rattrap/internal/unionfs"
@@ -139,6 +140,11 @@ type Platform struct {
 	// bootFault, when set, is consulted at the start of every runtime
 	// boot (fault injection; see internal/faults).
 	bootFault func(p *sim.Proc, id string) error
+
+	// om holds the pre-resolved observability instruments (see obs.go);
+	// nil means observability is off and every record site is one nil
+	// check.
+	om *platformMetrics
 }
 
 type slot struct {
@@ -258,6 +264,9 @@ func (pl *Platform) bootSlot(p *sim.Proc) (*slot, error) {
 
 	fail := func(err error) (*slot, error) {
 		pl.removeSlot(sl)
+		if pl.om != nil {
+			pl.om.bootFails.Inc()
+		}
 		return nil, fmt.Errorf("core: booting %s: %w", id, err)
 	}
 
@@ -338,6 +347,11 @@ func (pl *Platform) bootSlot(p *sim.Proc) (*slot, error) {
 		LastUsed:  pl.E.Now(),
 	}
 	pl.db.Put(sl.info)
+	if pl.om != nil {
+		pl.om.boots.Inc()
+		pl.om.bootTime.Observe(sl.info.BootTime)
+		pl.om.poolSize.Set(int64(pl.slots.n))
+	}
 	return sl, nil
 }
 
@@ -387,6 +401,9 @@ func (pl *Platform) removeSlot(sl *slot) {
 	if sl.info != nil {
 		pl.db.Remove(sl.id)
 	}
+	if pl.om != nil {
+		pl.om.poolSize.Set(int64(pl.slots.n))
+	}
 }
 
 // Prepare implements offload.Gateway: access-control analysis, then
@@ -397,7 +414,7 @@ func (pl *Platform) Prepare(p *sim.Proc, req offload.ExecRequest) (offload.Sessi
 	if tbl.Blocked {
 		return nil, fmt.Errorf("%w: %s: %w", ErrBlocked, req.App, ErrAppBlocked)
 	}
-	sl, err := pl.acquireSlot(p, req.AID)
+	sl, err := pl.acquireSlot(p, req.AID, req.Span())
 	if err != nil {
 		return nil, err
 	}
@@ -407,15 +424,24 @@ func (pl *Platform) Prepare(p *sim.Proc, req offload.ExecRequest) (offload.Sessi
 		switch {
 		case pl.warehouse.Has(req.AID):
 			s.needCode = false // warehouse hit: load locally, no transfer
+			if pl.om != nil {
+				pl.om.whHits.Inc()
+			}
 		default:
 			if sig, inflight := pl.warehouse.Inflight(req.AID); inflight {
 				// Another device is pushing this code right now; wait for
 				// it instead of transferring a duplicate.
 				s.needCode = false
 				s.waitPush = sig
+				if pl.om != nil {
+					pl.om.whCoalesced.Inc()
+				}
 			} else {
 				pl.warehouse.Claim(pl.E, req.AID) // this session pushes
 				s.claimed = true
+				if pl.om != nil {
+					pl.om.whMisses.Inc()
+				}
 			}
 		}
 	}
@@ -437,12 +463,34 @@ type session struct {
 // NeedCode reports whether the device must transfer the mobile code.
 func (s *session) NeedCode() bool { return s.needCode }
 
+// stageStart stamps the virtual clock when any stage instrument is active
+// for this session — a span attached to the request or a registry
+// installed on the platform. It returns -1 (and stageEnd reports off)
+// otherwise, so a request with observability disabled performs no clock
+// reads at all.
+func (s *session) stageStart(sp *obs.Span) sim.Time {
+	if sp == nil && s.pl.om == nil {
+		return -1
+	}
+	return s.pl.E.Now()
+}
+
+// stageEnd closes a stageStart measurement.
+func (s *session) stageEnd(start sim.Time) (time.Duration, bool) {
+	if start < 0 {
+		return 0, false
+	}
+	return (s.pl.E.Now() - start).Duration(), true
+}
+
 // PushCode receives the code blob: Rattrap stages it in the App Warehouse
 // ("once and for all"), everyone loads it into the runtime's ClassLoader.
 func (s *session) PushCode(p *sim.Proc, push offload.CodePush) error {
 	if push.AID != s.req.AID {
 		return fmt.Errorf("core: code push AID %s does not match request %s", push.AID, s.req.AID)
 	}
+	sp := s.req.Span()
+	stageStart := s.stageStart(sp)
 	if s.pl.warehouse != nil {
 		if err := s.pl.warehouse.Put(p, push.AID, push.App, push.Size); err != nil {
 			return err
@@ -451,6 +499,12 @@ func (s *session) PushCode(p *sim.Proc, push offload.CodePush) error {
 	}
 	if err := s.sl.rt.LoadCode(p, push.AID, push.Size, false); err != nil {
 		return err
+	}
+	if d, on := s.stageEnd(stageStart); on {
+		sp.Add(obs.StageCodeStage, d)
+		if s.pl.om != nil {
+			s.pl.om.codeStage.Observe(d)
+		}
 	}
 	if s.pl.warehouse != nil {
 		s.pl.warehouse.BindCID(push.AID, s.sl.id)
@@ -464,6 +518,7 @@ func (s *session) PushCode(p *sim.Proc, push offload.CodePush) error {
 // that leaves the container.
 func (s *session) Execute(p *sim.Proc) (offload.Result, error) {
 	pl, sl, req := s.pl, s.sl, s.req
+	sp := req.Span()
 	// Warehouse-sourced code load (no device transfer happened).
 	for !sl.rt.CodeLoaded(req.AID) {
 		if pl.warehouse == nil {
@@ -474,8 +529,15 @@ func (s *session) Execute(p *sim.Proc) (offload.Result, error) {
 		}
 		s.waitPush = nil
 		if entry, ok := pl.warehouse.Lookup(req.AID); ok {
+			loadStart := s.stageStart(sp)
 			if err := sl.rt.LoadCode(p, req.AID, entry.Size, true); err != nil {
 				return offload.Result{}, err
+			}
+			if d, on := s.stageEnd(loadStart); on {
+				sp.Add(obs.StageWarehouseLoad, d)
+				if pl.om != nil {
+					pl.om.whLoad.Observe(d)
+				}
 			}
 			pl.warehouse.BindCID(req.AID, sl.id)
 			break
@@ -511,7 +573,15 @@ func (s *session) Execute(p *sim.Proc) (offload.Result, error) {
 		ParamBytes: req.ParamBytes, FileBytes: req.FileBytes,
 		RoundTrips: req.RoundTrips, InteractBytes: req.InteractBytes,
 	}
+	runStart := s.stageStart(sp)
 	res, err := sl.rt.Execute(p, req.AID, task, pl.reg)
+	if d, on := s.stageEnd(runStart); on && err == nil {
+		sp.Add(obs.StageRun, d)
+		if pl.om != nil {
+			pl.om.runTime.Observe(d)
+			pl.om.executes.Inc()
+		}
+	}
 	if err != nil {
 		return offload.Result{Err: err.Error()}, nil
 	}

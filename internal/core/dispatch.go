@@ -5,6 +5,7 @@ import (
 	"errors"
 	"time"
 
+	"rattrap/internal/obs"
 	"rattrap/internal/offload"
 	"rattrap/internal/sim"
 )
@@ -177,12 +178,17 @@ func (pl *Platform) popIdle() *slot {
 	return nil
 }
 
-// acquireSlot implements the Dispatcher's allocation policy.
-func (pl *Platform) acquireSlot(p *sim.Proc, aid string) (*slot, error) {
+// acquireSlot implements the Dispatcher's allocation policy. sp, when
+// non-nil, receives the boot / queue-wait sub-stage durations of this
+// allocation (virtual time).
+func (pl *Platform) acquireSlot(p *sim.Proc, aid string, sp *obs.Span) (*slot, error) {
 	// 1. Idle runtime that already loaded this code (cache-table CID
 	//    affinity: "saves the time for loading codes").
 	if sl := pl.popAffinity(aid); sl != nil {
 		pl.claim(sl)
+		if pl.om != nil {
+			pl.om.affinityHits.Inc()
+		}
 		return sl, nil
 	}
 	// 2. Any idle runtime.
@@ -192,19 +198,45 @@ func (pl *Platform) acquireSlot(p *sim.Proc, aid string) (*slot, error) {
 	}
 	// 3. Grow the pool.
 	if pl.slots.n < pl.cfg.MaxRuntimes {
-		return pl.bootSlot(p)
+		var start sim.Time = -1
+		if sp != nil {
+			start = pl.E.Now()
+		}
+		sl, err := pl.bootSlot(p)
+		if sp != nil && err == nil {
+			sp.Add(obs.StageBoot, (pl.E.Now() - start).Duration())
+		}
+		return sl, err
 	}
 	// 4. Bounded admission: with the wait ring at its configured depth,
 	//    reject with a typed overload error and a retry-after hint rather
 	//    than queueing unboundedly — a flood of flaky clients must not pin
 	//    unbounded memory on the cloud side.
 	if pl.cfg.MaxQueueDepth > 0 && pl.waitQ.len() >= pl.cfg.MaxQueueDepth {
+		if pl.om != nil {
+			pl.om.overloadRejects.Inc()
+		}
 		return nil, &offload.OverloadedError{QueueDepth: pl.waitQ.len(), RetryAfter: pl.retryAfterHint()}
 	}
 	// 5. Queue FIFO for the next release.
 	w := &waiter{sig: sim.NewSignal(pl.E)}
 	pl.waitQ.push(w)
+	var start sim.Time = -1
+	if sp != nil || pl.om != nil {
+		start = pl.E.Now()
+	}
+	if pl.om != nil {
+		pl.om.queued.Inc()
+		pl.om.queueLen.Set(int64(pl.waitQ.len()))
+	}
 	p.Wait(w.sig)
+	if start >= 0 {
+		d := (pl.E.Now() - start).Duration()
+		sp.Add(obs.StageQueueWait, d)
+		if pl.om != nil {
+			pl.om.queueWait.Observe(d)
+		}
+	}
 	if w.sl == nil {
 		return nil, errors.New("core: dispatcher queue aborted")
 	}
@@ -255,6 +287,9 @@ func (pl *Platform) releaseSlot(sl *slot) {
 	if w := pl.waitQ.pop(); w != nil {
 		w.sl = sl // hand the slot over while still busy
 		sl.acquiredAt = pl.E.Now()
+		if pl.om != nil {
+			pl.om.queueLen.Set(int64(pl.waitQ.len()))
+		}
 		w.sig.Fire()
 		return
 	}

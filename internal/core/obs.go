@@ -1,0 +1,74 @@
+package core
+
+import (
+	"rattrap/internal/metrics"
+	"rattrap/internal/obs"
+)
+
+// platformMetrics is the platform's pre-resolved instrument set. Every
+// instrument is looked up once, at SetObs time, so the request hot path
+// never touches the registry's maps — it dereferences cached pointers or,
+// when observability is off (pl.om == nil), skips with one nil check.
+type platformMetrics struct {
+	reg *obs.Registry
+
+	whHits      *obs.Counter // warehouse cache hits (code transfer skipped)
+	whMisses    *obs.Counter // warehouse misses (device must push code)
+	whCoalesced *obs.Counter // requests that waited on another's in-flight push
+
+	boots           *obs.Counter // runtime boots (request path and pre-warm)
+	bootFails       *obs.Counter // boots that failed (incl. injected faults)
+	affinityHits    *obs.Counter // dispatches served by the AID-affinity index
+	queued          *obs.Counter // requests that waited in the FIFO ring
+	overloadRejects *obs.Counter // bounded-admission rejections
+	executes        *obs.Counter // completed workload executions
+
+	poolSize *obs.Gauge // current runtime pool size
+	queueLen *obs.Gauge // current dispatcher wait-ring depth
+
+	queueWait *metrics.ShardedHistogram // virtual time parked in the wait ring
+	bootTime  *metrics.ShardedHistogram // virtual boot duration
+	codeStage *metrics.ShardedHistogram // virtual code staging (push path)
+	whLoad    *metrics.ShardedHistogram // virtual warehouse-sourced code load
+	runTime   *metrics.ShardedHistogram // virtual pure workload execution
+}
+
+// SetObs points the platform at an observability registry. All dispatcher,
+// warehouse and runtime instruments are created (or re-resolved) in reg;
+// a nil reg disables recording entirely. Durations recorded here are
+// virtual time — the engine's clock, never the wall clock — so they are
+// bit-deterministic per seed in simulations and correctly paced in the
+// realtime server.
+func (pl *Platform) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		pl.om = nil
+		return
+	}
+	pl.om = &platformMetrics{
+		reg:             reg,
+		whHits:          reg.Counter("warehouse.hits"),
+		whMisses:        reg.Counter("warehouse.misses"),
+		whCoalesced:     reg.Counter("warehouse.coalesced_pushes"),
+		boots:           reg.Counter("dispatch.boots"),
+		bootFails:       reg.Counter("dispatch.boot_failures"),
+		affinityHits:    reg.Counter("dispatch.affinity_hits"),
+		queued:          reg.Counter("dispatch.queued"),
+		overloadRejects: reg.Counter("dispatch.overload_rejects"),
+		executes:        reg.Counter("core.executes"),
+		poolSize:        reg.Gauge("core.pool_size"),
+		queueLen:        reg.Gauge("core.queue_len"),
+		queueWait:       reg.Histogram("stage." + obs.StageQueueWait),
+		bootTime:        reg.Histogram("stage." + obs.StageBoot),
+		codeStage:       reg.Histogram("stage." + obs.StageCodeStage),
+		whLoad:          reg.Histogram("stage." + obs.StageWarehouseLoad),
+		runTime:         reg.Histogram("stage." + obs.StageRun),
+	}
+}
+
+// Obs returns the registry installed with SetObs, nil when disabled.
+func (pl *Platform) Obs() *obs.Registry {
+	if pl.om == nil {
+		return nil
+	}
+	return pl.om.reg
+}

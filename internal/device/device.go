@@ -15,6 +15,7 @@ import (
 	"rattrap/internal/faults"
 	"rattrap/internal/host"
 	"rattrap/internal/netsim"
+	"rattrap/internal/obs"
 	"rattrap/internal/offload"
 	"rattrap/internal/power"
 	"rattrap/internal/sim"
@@ -34,6 +35,9 @@ type Device struct {
 	rng     *rand.Rand
 	seq     map[string]int
 	traffic offload.Traffic
+
+	spans    bool      // collect a per-request span on each Offload
+	lastSpan *obs.Span // span of the most recent Offload attempt
 }
 
 // New creates a device on engine e attached to the given network scenario.
@@ -60,6 +64,18 @@ func (d *Device) NewTask(app workload.App) workload.Task {
 	d.seq[app.Name()]++
 	return app.NewTask(d.rng, s)
 }
+
+// EnableSpans toggles per-request observability spans. When on, each
+// Offload attempt creates a fresh span, attaches it to the ExecRequest
+// (so the platform's dispatcher/warehouse/runtime sub-stages land in it),
+// and mirrors every phase accumulation as a top-level stage — the sum of
+// top-level stages equals Phases.Response() exactly. When off (the
+// default) no span is allocated and every record site is a nil no-op.
+func (d *Device) EnableSpans(on bool) { d.spans = on }
+
+// LastSpan returns the span collected by the most recent Offload attempt,
+// nil when spans are disabled or no offload has run yet.
+func (d *Device) LastSpan() *obs.Span { return d.lastSpan }
 
 // Traffic returns the device's cumulative migrated-data accounting.
 func (d *Device) Traffic() offload.Traffic { return d.traffic }
@@ -105,11 +121,18 @@ func (d *Device) Offload(p *sim.Proc, task workload.Task, codeSize host.Bytes, g
 		RoundTrips:    task.RoundTrips,
 		InteractBytes: task.InteractBytes,
 	}
+	var sp *obs.Span
+	if d.spans {
+		sp = obs.NewSpan()
+		d.lastSpan = sp
+		req.SetSpan(sp)
+	}
 
 	// Phase: network connection. A fault here burned the attempt's setup
 	// time (accounted in the phase) but left no connection.
 	connDur, err := d.Link.Connect(p)
 	ph.NetworkConnection = connDur
+	sp.Add(obs.StageConnect, connDur)
 	if err != nil {
 		return ph, offload.Result{}, fmt.Errorf("device %s: connect: %w", d.Name, err)
 	}
@@ -117,6 +140,7 @@ func (d *Device) Offload(p *sim.Proc, task workload.Task, codeSize host.Bytes, g
 	// Phase: data transfer (request payload).
 	dur, err := d.Link.Upload(p, task.UploadBytes()+offload.ControlBytes)
 	ph.DataTransfer += dur
+	sp.Add(obs.StageTransfer, dur)
 	upAir += dur
 	if err != nil {
 		return ph, offload.Result{}, fmt.Errorf("device %s: uploading request: %w", d.Name, err)
@@ -131,7 +155,9 @@ func (d *Device) Offload(p *sim.Proc, task workload.Task, codeSize host.Bytes, g
 		return ph, offload.Result{}, fmt.Errorf("device %s: %w", d.Name, err)
 	}
 	defer sess.Release()
-	ph.RuntimePreparation = (d.E.Now() - prepStart).Duration()
+	prepDur := (d.E.Now() - prepStart).Duration()
+	ph.RuntimePreparation = prepDur
+	sp.Add(obs.StagePrepare, prepDur)
 
 	// pushCode runs the duplicate-code exchange: NEED_CODE reply down,
 	// code blob up, server-side staging. Used both when Prepare asks up
@@ -139,6 +165,7 @@ func (d *Device) Offload(p *sim.Proc, task workload.Task, codeSize host.Bytes, g
 	pushCode := func() error {
 		dur, err := d.Link.Download(p, offload.ControlBytes) // NEED_CODE reply
 		ph.DataTransfer += dur
+		sp.Add(obs.StageTransfer, dur)
 		downAir += dur
 		if err != nil {
 			return fmt.Errorf("device %s: receiving NEED_CODE: %w", d.Name, err)
@@ -146,6 +173,7 @@ func (d *Device) Offload(p *sim.Proc, task workload.Task, codeSize host.Bytes, g
 		d.traffic.Down += offload.ControlBytes
 		dur, err = d.Link.Upload(p, codeSize)
 		ph.DataTransfer += dur
+		sp.Add(obs.StageTransfer, dur)
 		upAir += dur
 		if err != nil {
 			return fmt.Errorf("device %s: uploading code: %w", d.Name, err)
@@ -156,7 +184,9 @@ func (d *Device) Offload(p *sim.Proc, task workload.Task, codeSize host.Bytes, g
 			return fmt.Errorf("device %s: pushing code: %w", d.Name, err)
 		}
 		// Server-side staging/ClassLoader time counts as preparation.
-		ph.RuntimePreparation += (d.E.Now() - loadStart).Duration()
+		pushDur := (d.E.Now() - loadStart).Duration()
+		ph.RuntimePreparation += pushDur
+		sp.Add(obs.StagePrepare, pushDur)
 		return nil
 	}
 
@@ -193,7 +223,9 @@ func (d *Device) Offload(p *sim.Proc, task workload.Task, codeSize host.Bytes, g
 		d.traffic.FileParamUp += n
 		d.traffic.Down += n
 	}
-	ph.ComputationExecution = (d.E.Now() - execStart).Duration()
+	execDur := (d.E.Now() - execStart).Duration()
+	ph.ComputationExecution = execDur
+	sp.Add(obs.StageExecute, execDur)
 	if res.Err != "" {
 		return ph, res, fmt.Errorf("device %s: cloud error: %s", d.Name, res.Err)
 	}
@@ -201,6 +233,7 @@ func (d *Device) Offload(p *sim.Proc, task workload.Task, codeSize host.Bytes, g
 	// Phase: data transfer (result download).
 	dur, err = d.Link.Download(p, res.ResultBytes+offload.ControlBytes)
 	ph.DataTransfer += dur
+	sp.Add(obs.StageTransfer, dur)
 	downAir += dur
 	if err != nil {
 		return ph, res, fmt.Errorf("device %s: downloading result: %w", d.Name, err)

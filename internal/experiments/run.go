@@ -16,6 +16,7 @@ import (
 	"rattrap/internal/host"
 	"rattrap/internal/metrics"
 	"rattrap/internal/netsim"
+	"rattrap/internal/obs"
 	"rattrap/internal/offload"
 	"rattrap/internal/power"
 	"rattrap/internal/sim"
@@ -38,6 +39,15 @@ type RunConfig struct {
 	Stagger time.Duration
 	// Seed drives all randomness.
 	Seed int64
+	// Spans, when true, collects a per-request observability span on every
+	// device (RequestRecord.Span): the four top-level stages mirror the
+	// phase accumulation exactly, and the platform's dispatcher/warehouse/
+	// runtime sub-stages nest under them. All durations are virtual time,
+	// bit-deterministic per seed.
+	Spans bool
+	// Obs, when non-nil, is installed on the platform (core.SetObs) so the
+	// run populates aggregate counters, gauges and stage histograms.
+	Obs *obs.Registry
 }
 
 // DefaultRun returns the paper's standard setup for one workload.
@@ -66,6 +76,9 @@ type RequestRecord struct {
 	EnergyJ      float64
 	LocalEnergyJ float64
 	Err          string
+	// Span is the request's stage breakdown (nil unless RunConfig.Spans;
+	// also nil for requests the decision engine ran locally).
+	Span *obs.Span
 }
 
 // Failed reports an offloading failure (speedup below 1, §III-B).
@@ -114,6 +127,9 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	}
 	e := sim.NewEngine(cfg.Seed)
 	pl := core.New(e, core.DefaultConfig(cfg.Kind))
+	if cfg.Obs != nil {
+		pl.SetObs(cfg.Obs)
+	}
 	refReg := workload.NewRegistry() // reference executions for local time
 
 	res := &RunResult{Cfg: cfg}
@@ -124,6 +140,7 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		dev.EnableSpans(cfg.Spans)
 		e.Spawn(dev.Name, func(p *sim.Proc) {
 			p.Sleep(time.Duration(i) * cfg.Stagger)
 			for r := 0; r < cfg.RequestsPerDevice; r++ {
@@ -146,6 +163,9 @@ func Run(cfg RunConfig) (*RunResult, error) {
 				rec.End = e.Now()
 				rec.Phases = ph
 				rec.Offloaded = offloaded
+				if offloaded {
+					rec.Span = dev.LastSpan()
+				}
 				rec.EnergyJ = dev.Meter.Joules - before
 				if err != nil {
 					rec.Err = err.Error()

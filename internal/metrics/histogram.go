@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	mrand "math/rand/v2"
 	"sync/atomic"
 	"time"
 )
@@ -73,14 +74,28 @@ func (h *LatencyHistogram) Max() time.Duration { return time.Duration(h.max.Load
 
 // Quantile returns the approximate q-quantile (0 < q ≤ 1) using
 // nearest-rank over the buckets with linear interpolation inside the
-// resolved bucket. It returns 0 when the histogram is empty.
+// resolved bucket. It returns 0 when the histogram is empty. Out-of-range
+// q panics (programmer error); boundary code handling untrusted input
+// should use QuantileErr instead.
 func (h *LatencyHistogram) Quantile(q float64) time.Duration {
-	if q <= 0 || q > 1 {
-		panic(fmt.Sprintf("metrics: quantile %v out of range", q))
+	d, err := h.QuantileErr(q)
+	if err != nil {
+		panic(err.Error())
+	}
+	return d
+}
+
+// QuantileErr is Quantile returning a typed *RangeError (matching
+// ErrOutOfRange via errors.Is) instead of panicking on a q outside
+// (0, 1] — the server boundary form: a bad scrape query must not crash
+// the process.
+func (h *LatencyHistogram) QuantileErr(q float64) (time.Duration, error) {
+	if math.IsNaN(q) || q <= 0 || q > 1 {
+		return 0, &RangeError{Op: "quantile", Value: q, Lo: 0, Hi: 1}
 	}
 	total := h.count.Load()
 	if total == 0 {
-		return 0
+		return 0, nil
 	}
 	rank := int64(math.Ceil(q * float64(total)))
 	var cum int64
@@ -98,13 +113,94 @@ func (h *LatencyHistogram) Quantile(q float64) time.Duration {
 			frac := float64(rank-cum) / float64(c)
 			ns := float64(lo) + frac*float64(hi-lo)
 			if m := h.max.Load(); int64(ns) > m {
-				return time.Duration(m)
+				return time.Duration(m), nil
 			}
-			return time.Duration(ns)
+			return time.Duration(ns), nil
 		}
 		cum += c
 	}
-	return time.Duration(h.max.Load())
+	return time.Duration(h.max.Load()), nil
+}
+
+// Merge folds o's observations into h. Merging is associative and
+// commutative (bucket counts, totals and maxima are sums/maxima), so a
+// sharded histogram's shards can be combined in any order with identical
+// results. Merging is safe against concurrent Observe on either side.
+func (h *LatencyHistogram) Merge(o *LatencyHistogram) {
+	if o == nil {
+		return
+	}
+	for i := 0; i < latBuckets; i++ {
+		if c := o.counts[i].Load(); c != 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+	om := o.max.Load()
+	for {
+		cur := h.max.Load()
+		if om <= cur || h.max.CompareAndSwap(cur, om) {
+			break
+		}
+	}
+}
+
+// Snapshot returns a point-in-time copy. The copy is detached: further
+// observations on h do not affect it, so scrape handlers can compute
+// several quantiles from one consistent state.
+func (h *LatencyHistogram) Snapshot() *LatencyHistogram {
+	s := NewLatencyHistogram()
+	s.Merge(h)
+	return s
+}
+
+// Snapshotter is anything that can produce a consistent histogram copy —
+// a plain LatencyHistogram or a ShardedHistogram. The obs registry stores
+// histograms behind this interface.
+type Snapshotter interface {
+	Snapshot() *LatencyHistogram
+}
+
+// shardedStripes is the stripe count for ShardedHistogram, a power of two
+// so the stripe pick is a mask. Sixteen stripes keeps worst-case scrape
+// merge cost trivial while removing most cross-core contention.
+const shardedStripes = 16
+
+// ShardedHistogram stripes observations across several LatencyHistograms
+// so concurrent hot-path writers do not contend on one set of atomics.
+// The stripe is picked with the runtime's per-P cheap random source —
+// stripe assignment is not deterministic, but every aggregate read goes
+// through Snapshot, which merges stripes with commutative sums, so the
+// observable state is independent of the assignment.
+type ShardedHistogram struct {
+	stripes [shardedStripes]LatencyHistogram
+}
+
+// NewShardedHistogram returns an empty sharded histogram.
+func NewShardedHistogram() *ShardedHistogram { return &ShardedHistogram{} }
+
+// Observe records one duration into one stripe.
+func (s *ShardedHistogram) Observe(d time.Duration) {
+	s.stripes[mrand.Uint32()&(shardedStripes-1)].Observe(d)
+}
+
+// Count reports the total observation count across stripes.
+func (s *ShardedHistogram) Count() int64 {
+	var n int64
+	for i := range s.stripes {
+		n += s.stripes[i].Count()
+	}
+	return n
+}
+
+// Snapshot merges all stripes into a detached LatencyHistogram.
+func (s *ShardedHistogram) Snapshot() *LatencyHistogram {
+	m := NewLatencyHistogram()
+	for i := range s.stripes {
+		m.Merge(&s.stripes[i])
+	}
+	return m
 }
 
 // Percentiles returns the p50/p95/p99 trio the realtime benchmarks report.

@@ -4,11 +4,33 @@
 package metrics
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 	"strings"
 )
+
+// ErrOutOfRange matches (via errors.Is) any *RangeError: a percentile or
+// quantile argument outside its legal domain.
+var ErrOutOfRange = errors.New("metrics: argument out of range")
+
+// RangeError is the typed out-of-domain rejection for Percentile/Quantile
+// arguments. Boundary code (e.g. a /metrics scrape handler parsing an
+// untrusted q parameter) checks for it with errors.Is(err, ErrOutOfRange)
+// instead of recovering from a panic.
+type RangeError struct {
+	Op     string  // "percentile" or "quantile"
+	Value  float64 // the rejected argument
+	Lo, Hi float64 // the legal interval, for the message
+}
+
+func (e *RangeError) Error() string {
+	return fmt.Sprintf("metrics: %s %v outside %v..%v", e.Op, e.Value, e.Lo, e.Hi)
+}
+
+// Is makes errors.Is(err, ErrOutOfRange) match.
+func (e *RangeError) Is(target error) bool { return target == ErrOutOfRange }
 
 // Mean returns the arithmetic mean (0 for an empty slice).
 func Mean(xs []float64) float64 {
@@ -60,18 +82,32 @@ func Max(xs []float64) float64 {
 }
 
 // Percentile returns the p-th percentile (0 ≤ p ≤ 100) using nearest-rank
-// on a sorted copy.
+// on a sorted copy. NaN samples are ignored (sorting them would leave the
+// slice effectively unsorted and break rank selection); the result is NaN
+// only when no finite-ordered samples remain. Out-of-range p panics;
+// boundary code should use PercentileErr.
 func Percentile(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
-		return math.NaN()
+	v, err := PercentileErr(xs, p)
+	if err != nil {
+		panic(err.Error())
 	}
-	if p < 0 || p > 100 {
-		panic(fmt.Sprintf("metrics: percentile %v out of range", p))
+	return v
+}
+
+// PercentileErr is Percentile returning a typed *RangeError (matching
+// ErrOutOfRange via errors.Is) instead of panicking when p is outside
+// [0, 100] or NaN.
+func PercentileErr(xs []float64, p float64) (float64, error) {
+	if math.IsNaN(p) || p < 0 || p > 100 {
+		return 0, &RangeError{Op: "percentile", Value: p, Lo: 0, Hi: 100}
 	}
-	s := append([]float64(nil), xs...)
+	s := dropNaN(xs)
+	if len(s) == 0 {
+		return math.NaN(), nil
+	}
 	sort.Float64s(s)
 	if p == 0 {
-		return s[0]
+		return s[0], nil
 	}
 	rank := int(math.Ceil(p/100*float64(len(s)))) - 1
 	if rank < 0 {
@@ -80,7 +116,18 @@ func Percentile(xs []float64, p float64) float64 {
 	if rank >= len(s) {
 		rank = len(s) - 1
 	}
-	return s[rank]
+	return s[rank], nil
+}
+
+// dropNaN copies xs without its NaN entries.
+func dropNaN(xs []float64) []float64 {
+	s := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			s = append(s, x)
+		}
+	}
+	return s
 }
 
 // CDF is an empirical cumulative distribution.
@@ -88,9 +135,11 @@ type CDF struct {
 	sorted []float64
 }
 
-// NewCDF builds a CDF over the samples.
+// NewCDF builds a CDF over the samples. NaN samples are dropped: they have
+// no place in a total order, and sorting a slice containing NaN leaves it
+// unsorted for binary search, which would make At non-monotone.
 func NewCDF(xs []float64) CDF {
-	s := append([]float64(nil), xs...)
+	s := dropNaN(xs)
 	sort.Float64s(s)
 	return CDF{sorted: s}
 }

@@ -1,0 +1,339 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// Property-based sweep over the statistics kernels. Every generator is
+// seeded, so a failure reproduces exactly; cases print their seed.
+
+const propSeeds = 50
+
+// genSamples draws a random sample slice: mixed magnitudes, duplicates,
+// occasional NaN when withNaN is set.
+func genSamples(rng *rand.Rand, n int, withNaN bool) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		switch rng.Intn(6) {
+		case 0:
+			xs[i] = rng.Float64() * 1e-6
+		case 1:
+			xs[i] = rng.Float64() * 1e6
+		case 2:
+			xs[i] = -rng.Float64() * 100
+		case 3:
+			xs[i] = float64(rng.Intn(5)) // duplicates
+		default:
+			xs[i] = rng.NormFloat64() * 10
+		}
+		if withNaN && rng.Intn(10) == 0 {
+			xs[i] = math.NaN()
+		}
+	}
+	return xs
+}
+
+// TestPercentileMonotone: for fixed samples, Percentile must be
+// non-decreasing in p, bounded by min/max, and exact at p=0 and p=100.
+func TestPercentileMonotone(t *testing.T) {
+	for seed := int64(0); seed < propSeeds; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		xs := genSamples(rng, 1+rng.Intn(200), true)
+		clean := dropNaN(xs)
+		if len(clean) == 0 {
+			continue
+		}
+		sort.Float64s(clean)
+		lo, hi := clean[0], clean[len(clean)-1]
+
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 0.5 {
+			v, err := PercentileErr(xs, p)
+			if err != nil {
+				t.Fatalf("seed %d: PercentileErr(%v): %v", seed, p, err)
+			}
+			if v < prev {
+				t.Fatalf("seed %d: percentile not monotone: p=%v gave %v after %v", seed, p, v, prev)
+			}
+			if v < lo || v > hi {
+				t.Fatalf("seed %d: percentile %v = %v outside sample range [%v, %v]", seed, p, v, lo, hi)
+			}
+			prev = v
+		}
+		if v := Percentile(xs, 0); v != lo {
+			t.Fatalf("seed %d: P0 = %v, want min %v", seed, v, lo)
+		}
+		if v := Percentile(xs, 100); v != hi {
+			t.Fatalf("seed %d: P100 = %v, want max %v", seed, v, hi)
+		}
+		// Every returned percentile is an actual sample (nearest-rank).
+		for _, p := range []float64{10, 25, 50, 75, 90, 99} {
+			v := Percentile(xs, p)
+			if i := sort.SearchFloat64s(clean, v); i >= len(clean) || clean[i] != v {
+				t.Fatalf("seed %d: P%v = %v is not a sample", seed, p, v)
+			}
+		}
+	}
+}
+
+// TestPercentileEdgeCases pins the empty/singleton/NaN behavior and the
+// typed range error.
+func TestPercentileEdgeCases(t *testing.T) {
+	if v, err := PercentileErr(nil, 50); err != nil || !math.IsNaN(v) {
+		t.Fatalf("empty: got (%v, %v), want (NaN, nil)", v, err)
+	}
+	if v, err := PercentileErr([]float64{math.NaN(), math.NaN()}, 50); err != nil || !math.IsNaN(v) {
+		t.Fatalf("all-NaN: got (%v, %v), want (NaN, nil)", v, err)
+	}
+	for _, p := range []float64{0, 37.5, 100} {
+		if v := Percentile([]float64{7}, p); v != 7 {
+			t.Fatalf("singleton: P%v = %v, want 7", p, v)
+		}
+	}
+	if v := Percentile([]float64{3, math.NaN(), 1}, 100); v != 3 {
+		t.Fatalf("NaN mixed in: P100 = %v, want 3", v)
+	}
+	for _, p := range []float64{-1, 101, math.NaN()} {
+		_, err := PercentileErr([]float64{1, 2}, p)
+		if !errors.Is(err, ErrOutOfRange) {
+			t.Fatalf("p=%v: err = %v, want ErrOutOfRange", p, err)
+		}
+		var re *RangeError
+		if !errors.As(err, &re) || re.Op != "percentile" {
+			t.Fatalf("p=%v: err = %#v, want *RangeError{Op: percentile}", p, err)
+		}
+	}
+	// The panicking form still panics for in-process misuse.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Percentile(xs, 200) did not panic")
+			}
+		}()
+		Percentile([]float64{1}, 200)
+	}()
+}
+
+// TestCDFBounds: At is within [0,1], non-decreasing, 0 below the min,
+// 1 at and above the max; FractionAbove/Below complement it.
+func TestCDFBounds(t *testing.T) {
+	for seed := int64(0); seed < propSeeds; seed++ {
+		rng := rand.New(rand.NewSource(1000 + seed))
+		xs := genSamples(rng, rng.Intn(150), true)
+		c := NewCDF(xs)
+		clean := dropNaN(xs)
+		sort.Float64s(clean)
+
+		if len(clean) == 0 {
+			if v := c.At(0); v != 0 {
+				t.Fatalf("seed %d: empty CDF At(0) = %v", seed, v)
+			}
+			continue
+		}
+		prev := -1.0
+		for i := 0; i < 50; i++ {
+			x := clean[0] - 1 + rng.Float64()*(clean[len(clean)-1]-clean[0]+2)
+			v := c.At(x)
+			if v < 0 || v > 1 {
+				t.Fatalf("seed %d: At(%v) = %v outside [0,1]", seed, x, v)
+			}
+			if got := c.FractionAbove(x); math.Abs(got-(1-v)) > 1e-12 {
+				t.Fatalf("seed %d: FractionAbove(%v) = %v, want %v", seed, x, got, 1-v)
+			}
+		}
+		// Monotone over a sorted probe grid.
+		for i := 0; i <= 100; i++ {
+			x := clean[0] - 1 + float64(i)/100*(clean[len(clean)-1]-clean[0]+2)
+			v := c.At(x)
+			if v < prev {
+				t.Fatalf("seed %d: CDF not monotone at x=%v: %v after %v", seed, x, v, prev)
+			}
+			prev = v
+		}
+		if v := c.At(clean[0] - 0.5); v != 0 {
+			t.Fatalf("seed %d: At(below min) = %v, want 0", seed, v)
+		}
+		if v := c.At(clean[len(clean)-1]); v != 1 {
+			t.Fatalf("seed %d: At(max) = %v, want 1", seed, v)
+		}
+		// Exactness: At(x) counts samples ≤ x.
+		probe := clean[rng.Intn(len(clean))]
+		n := 0
+		for _, x := range clean {
+			if x <= probe {
+				n++
+			}
+		}
+		if v := c.At(probe); math.Abs(v-float64(n)/float64(len(clean))) > 1e-12 {
+			t.Fatalf("seed %d: At(%v) = %v, want %v", seed, probe, v, float64(n)/float64(len(clean)))
+		}
+	}
+}
+
+// genDurations draws positive durations across the histogram's range.
+func genDurations(rng *rand.Rand, n int) []time.Duration {
+	ds := make([]time.Duration, n)
+	for i := range ds {
+		ds[i] = time.Duration(rng.Int63n(int64(5 * time.Second)))
+	}
+	return ds
+}
+
+// TestHistogramQuantileMonotone: quantiles are non-decreasing in q and
+// never exceed the observed max.
+func TestHistogramQuantileMonotone(t *testing.T) {
+	for seed := int64(0); seed < propSeeds; seed++ {
+		rng := rand.New(rand.NewSource(2000 + seed))
+		h := NewLatencyHistogram()
+		var maxD time.Duration
+		for _, d := range genDurations(rng, 1+rng.Intn(500)) {
+			h.Observe(d)
+			if d > maxD {
+				maxD = d
+			}
+		}
+		prev := time.Duration(-1)
+		for q := 0.01; q <= 1.0; q += 0.01 {
+			v := h.Quantile(q)
+			if v < prev {
+				t.Fatalf("seed %d: quantile not monotone at q=%v: %v after %v", seed, q, v, prev)
+			}
+			if v > maxD {
+				t.Fatalf("seed %d: quantile %v = %v beyond max %v", seed, q, v, maxD)
+			}
+			prev = v
+		}
+		if got := h.Quantile(1); got != maxD {
+			t.Fatalf("seed %d: Q1 = %v, want max %v", seed, got, maxD)
+		}
+	}
+}
+
+// TestHistogramQuantileEdgeCases pins the empty/singleton behavior and the
+// typed error at the boundary form.
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	h := NewLatencyHistogram()
+	if v := h.Quantile(0.5); v != 0 {
+		t.Fatalf("empty histogram Q0.5 = %v, want 0", v)
+	}
+	h.Observe(123 * time.Millisecond)
+	for _, q := range []float64{0.001, 0.5, 1} {
+		if v := h.Quantile(q); v != 123*time.Millisecond {
+			t.Fatalf("singleton Q%v = %v, want 123ms", q, v)
+		}
+	}
+	for _, q := range []float64{0, -0.1, 1.1, math.NaN()} {
+		_, err := h.QuantileErr(q)
+		if !errors.Is(err, ErrOutOfRange) {
+			t.Fatalf("q=%v: err = %v, want ErrOutOfRange", q, err)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Quantile(2) did not panic")
+			}
+		}()
+		h.Quantile(2)
+	}()
+	// Negative durations clamp to the zero bucket, never corrupt counts.
+	h2 := NewLatencyHistogram()
+	h2.Observe(-5 * time.Second)
+	if h2.Count() != 1 || h2.Max() != 0 {
+		t.Fatalf("negative observe: count=%d max=%v, want 1, 0", h2.Count(), h2.Max())
+	}
+}
+
+// histEqual compares two histograms' complete observable state.
+func histEqual(a, b *LatencyHistogram) bool {
+	if a.Count() != b.Count() || a.Max() != b.Max() || a.Mean() != b.Mean() {
+		return false
+	}
+	for i := 0; i < latBuckets; i++ {
+		if a.counts[i].Load() != b.counts[i].Load() {
+			return false
+		}
+	}
+	return a.sum.Load() == b.sum.Load()
+}
+
+// TestHistogramMergeAssociativeCommutative: (a⊕b)⊕c == a⊕(b⊕c) and
+// a⊕b == b⊕a over the full bucket state.
+func TestHistogramMergeAssociativeCommutative(t *testing.T) {
+	for seed := int64(0); seed < propSeeds; seed++ {
+		rng := rand.New(rand.NewSource(3000 + seed))
+		mk := func() *LatencyHistogram {
+			h := NewLatencyHistogram()
+			for _, d := range genDurations(rng, rng.Intn(100)) {
+				h.Observe(d)
+			}
+			return h
+		}
+		a, b, c := mk(), mk(), mk()
+
+		// (a ⊕ b) ⊕ c
+		left := a.Snapshot()
+		left.Merge(b)
+		left.Merge(c)
+		// a ⊕ (b ⊕ c)
+		bc := b.Snapshot()
+		bc.Merge(c)
+		right := a.Snapshot()
+		right.Merge(bc)
+		if !histEqual(left, right) {
+			t.Fatalf("seed %d: merge not associative: %v vs %v", seed, left, right)
+		}
+
+		ab := a.Snapshot()
+		ab.Merge(b)
+		ba := b.Snapshot()
+		ba.Merge(a)
+		if !histEqual(ab, ba) {
+			t.Fatalf("seed %d: merge not commutative: %v vs %v", seed, ab, ba)
+		}
+
+		// Identity: merging an empty histogram changes nothing.
+		id := a.Snapshot()
+		id.Merge(NewLatencyHistogram())
+		id.Merge(nil)
+		if !histEqual(id, a.Snapshot()) {
+			t.Fatalf("seed %d: empty/nil merge is not the identity", seed)
+		}
+	}
+}
+
+// TestShardedHistogramAggregates: regardless of stripe assignment, the
+// merged view must match a plain histogram fed the same observations.
+func TestShardedHistogramAggregates(t *testing.T) {
+	for seed := int64(0); seed < propSeeds; seed++ {
+		rng := rand.New(rand.NewSource(4000 + seed))
+		sh := NewShardedHistogram()
+		ref := NewLatencyHistogram()
+		for _, d := range genDurations(rng, 1+rng.Intn(300)) {
+			sh.Observe(d)
+			ref.Observe(d)
+		}
+		if sh.Count() != ref.Count() {
+			t.Fatalf("seed %d: sharded count %d != %d", seed, sh.Count(), ref.Count())
+		}
+		if !histEqual(sh.Snapshot(), ref) {
+			t.Fatalf("seed %d: sharded snapshot differs from reference", seed)
+		}
+	}
+}
+
+// TestSnapshotDetached: a snapshot must not see later observations.
+func TestSnapshotDetached(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.Observe(time.Millisecond)
+	s := h.Snapshot()
+	h.Observe(time.Second)
+	if s.Count() != 1 || s.Max() != time.Millisecond {
+		t.Fatalf("snapshot mutated: count=%d max=%v", s.Count(), s.Max())
+	}
+}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// The disabled-observability contract: a nil span, counter or registry
+// record site costs one nil check — no allocation, no atomics, no clock
+// reads. These benchmarks are the guard; compare:
+//
+//	go test -bench 'BenchmarkSpan|BenchmarkCounter' ./internal/obs/
+//
+// BenchmarkSpanDisabledAdd must be ~1ns and 0 allocs/op; the core
+// dispatcher's end-to-end disabled-path guard is BenchmarkDispatcherAcquire
+// in internal/core (observability off there by construction).
+
+func BenchmarkSpanDisabledAdd(b *testing.B) {
+	var sp *Span
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp.Add(StageRun, time.Microsecond)
+	}
+}
+
+func BenchmarkSpanEnabledAdd(b *testing.B) {
+	sp := NewSpan()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp.Add(StageRun, time.Microsecond)
+		if len(sp.stages) > 64 {
+			sp.stages = sp.stages[:0] // keep the slice bounded; amortized reuse
+		}
+	}
+}
+
+func BenchmarkCounterDisabledInc(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterEnabledInc(b *testing.B) {
+	c := NewRegistry().Counter("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkShardedHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(time.Microsecond)
+		}
+	})
+}
+
+func BenchmarkRegistrySnapshot(b *testing.B) {
+	r := NewRegistry()
+	for i := 0; i < 10; i++ {
+		r.Counter(StageRun + string(rune('a'+i))).Add(int64(i))
+		h := r.Histogram("h" + string(rune('a'+i)))
+		for j := 0; j < 1000; j++ {
+			h.Observe(time.Duration(j) * time.Microsecond)
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.Snapshot()
+	}
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"rattrap/internal/metrics"
+)
+
+// Handler serves the registry over HTTP as the /metrics endpoint.
+//
+//	GET /metrics                     plain-text snapshot
+//	GET /metrics?format=json         JSON snapshot (also via Accept header)
+//	GET /metrics?hist=NAME&q=0.99    one quantile of one histogram
+//
+// The q parameter is untrusted input: it goes through the non-panicking
+// QuantileErr so a bad scrape query produces a 400, never a crashed
+// server.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		if name := req.URL.Query().Get("hist"); name != "" {
+			serveQuantile(w, req, r, name)
+			return
+		}
+		snap := r.Snapshot()
+		if wantsJSON(req) {
+			buf, err := snap.JSON()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(buf)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, snap.Text())
+	})
+}
+
+func wantsJSON(req *http.Request) bool {
+	if req.URL.Query().Get("format") == "json" {
+		return true
+	}
+	return strings.Contains(req.Header.Get("Accept"), "application/json")
+}
+
+// serveQuantile answers /metrics?hist=NAME&q=Q with one quantile reading.
+func serveQuantile(w http.ResponseWriter, req *http.Request, r *Registry, name string) {
+	if r == nil {
+		http.Error(w, "no registry", http.StatusNotFound)
+		return
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h == nil {
+		http.Error(w, fmt.Sprintf("unknown histogram %q", name), http.StatusNotFound)
+		return
+	}
+	qs := req.URL.Query().Get("q")
+	if qs == "" {
+		qs = "0.5"
+	}
+	q, err := strconv.ParseFloat(qs, 64)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad q %q: %v", qs, err), http.StatusBadRequest)
+		return
+	}
+	d, err := h.Snapshot().QuantileErr(q)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, metrics.ErrOutOfRange) {
+			status = http.StatusBadRequest
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "%s q%s %d\n", name, qs, d.Nanoseconds())
+}

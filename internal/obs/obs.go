@@ -1,0 +1,50 @@
+// Package obs is the request-scoped observability layer: spans that carry
+// a per-request stage breakdown through device → realtime server → core
+// dispatcher → warehouse → runtime, and a concurrent registry of named
+// counters, gauges and latency histograms that aggregates them.
+//
+// The package is deliberately dependency-free (stdlib plus the repo's own
+// metrics package) and clock-free: a Span never reads a clock itself.
+// Whoever records a stage computes its duration from the clock that owns
+// the code path — the discrete-event engine's virtual clock inside
+// simulations, the wall clock in the realtime server's protocol loop — so
+// the same instrumentation is bit-deterministic under virtual time and
+// honest under real time.
+//
+// Everything is nil-safe: a nil *Span and a nil *Registry are the
+// "observability disabled" states, and every method on them is a pointer
+// check that compiles to nearly nothing. Hot paths therefore carry their
+// instrumentation unconditionally and pay only when a caller opted in.
+package obs
+
+// Stage names: the taxonomy of one offloading request. Top-level stages
+// tile the request end-to-end (their durations sum to the response time);
+// sub-stages — names with a '/' — attribute time inside a parent stage
+// and may leave a residual (e.g. access-control analysis inside prepare).
+const (
+	// StageConnect is the device↔cloud connection establishment.
+	StageConnect = "connect"
+	// StageTransfer is all data movement: params, files, code, results.
+	StageTransfer = "transfer"
+	// StagePrepare is runtime preparation as the device observes it:
+	// dispatch, queueing, boot, code staging.
+	StagePrepare = "prepare"
+	// StageExecute is the computation-execution phase.
+	StageExecute = "execute"
+
+	// StageQueueWait is time spent parked in the dispatcher's FIFO wait
+	// ring (inside prepare).
+	StageQueueWait = "prepare/queue_wait"
+	// StageBoot is a cold runtime boot on the request path (inside
+	// prepare), including the dispatcher-registration handshake.
+	StageBoot = "prepare/boot"
+	// StageCodeStage is server-side staging of pushed code: the warehouse
+	// write plus the ClassLoader load (inside prepare).
+	StageCodeStage = "prepare/code_stage"
+	// StageWarehouseLoad is a warehouse-sourced code load — the cache hit
+	// that replaced a device transfer (inside execute).
+	StageWarehouseLoad = "execute/warehouse_load"
+	// StageRun is the pure workload execution inside the runtime (inside
+	// execute).
+	StageRun = "execute/run"
+)

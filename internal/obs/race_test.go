@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"rattrap/internal/metrics"
+)
+
+// TestRegistryConcurrentWritersAndScrape hammers the registry from many
+// goroutines — get-or-create lookups, counter/gauge/histogram writes —
+// while another set scrapes snapshots and renders them, then checks the
+// totals. Run with -race; the point is that concurrent scrape observes a
+// consistent registry without stalling writers.
+func TestRegistryConcurrentWritersAndScrape(t *testing.T) {
+	r := NewRegistry()
+	const (
+		writers  = 8
+		scrapers = 4
+		perG     = 2000
+	)
+	var wWG, sWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wWG.Add(1)
+		go func() {
+			defer wWG.Done()
+			// Half the work shares instruments, half creates per-goroutine
+			// ones: both the fast read-lock path and the create path run hot.
+			own := fmt.Sprintf("own.%d", w)
+			for i := 0; i < perG; i++ {
+				r.Counter("shared.count").Inc()
+				r.Counter(own).Inc()
+				r.Gauge("shared.gauge").Set(int64(i))
+				r.Histogram("shared.hist").Observe(time.Duration(i) * time.Microsecond)
+				sp := NewSpan()
+				sp.Add(StageRun, time.Duration(i)*time.Microsecond)
+				r.ObserveSpan("span.", sp)
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	for s := 0; s < scrapers; s++ {
+		sWG.Add(1)
+		go func() {
+			defer sWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := r.Snapshot()
+				_ = snap.Text()
+				if _, err := snap.JSON(); err != nil {
+					t.Errorf("scrape JSON: %v", err)
+					return
+				}
+				// A snapshot taken mid-write is internally consistent: the
+				// merged count never exceeds the final total.
+				if n := r.Histogram("shared.hist").Snapshot().Count(); n > writers*perG {
+					t.Errorf("snapshot count %d exceeds total writes", n)
+					return
+				}
+			}
+		}()
+	}
+	wWG.Wait()
+	close(stop)
+	sWG.Wait()
+
+	if got := r.Counter("shared.count").Value(); got != writers*perG {
+		t.Fatalf("shared counter = %d, want %d", got, writers*perG)
+	}
+	for w := 0; w < writers; w++ {
+		if got := r.Counter(fmt.Sprintf("own.%d", w)).Value(); got != perG {
+			t.Fatalf("own.%d = %d, want %d", w, got, perG)
+		}
+	}
+	if got := r.Histogram("shared.hist").Count(); got != int64(writers*perG) {
+		t.Fatalf("shared histogram count = %d, want %d", got, writers*perG)
+	}
+	if got := r.Histogram("span." + StageRun).Count(); got != int64(writers*perG) {
+		t.Fatalf("span fold count = %d, want %d", got, writers*perG)
+	}
+}
+
+// TestShardedHistogramConcurrentMerge: concurrent Observe against
+// concurrent Snapshot merges must never lose or invent observations.
+func TestShardedHistogramConcurrentMerge(t *testing.T) {
+	sh := metrics.NewShardedHistogram()
+	const writers, perG = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				sh.Observe(time.Duration(i+1) * time.Microsecond)
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	var rg sync.WaitGroup
+	rg.Add(1)
+	go func() {
+		defer rg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := sh.Snapshot()
+			if s.Count() > writers*perG {
+				t.Errorf("snapshot count %d exceeds writes", s.Count())
+				return
+			}
+			if s.Count() > 0 {
+				s.Percentiles() // must not panic mid-merge
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+	if got := sh.Count(); got != int64(writers*perG) {
+		t.Fatalf("final count = %d, want %d", got, writers*perG)
+	}
+	if got := sh.Snapshot().Max(); got != time.Duration(perG)*time.Microsecond {
+		t.Fatalf("final max = %v, want %v", got, time.Duration(perG)*time.Microsecond)
+	}
+}

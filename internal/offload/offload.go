@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"rattrap/internal/host"
+	"rattrap/internal/obs"
 	"rattrap/internal/sim"
 )
 
@@ -43,7 +44,21 @@ type ExecRequest struct {
 	// Interactive exchanges during execution (games).
 	RoundTrips    int
 	InteractBytes host.Bytes
+
+	// span carries the request's observability span through the platform.
+	// Unexported so it never crosses the gob wire — each side of a real
+	// connection owns its own span; in-process calls (simulations, the
+	// realtime server handing a decoded request to core) pass it through.
+	span *obs.Span
 }
+
+// SetSpan attaches an observability span to the request. The platform
+// records dispatcher/warehouse/runtime sub-stages into it. A nil span
+// (the default) disables per-request recording.
+func (r *ExecRequest) SetSpan(sp *obs.Span) { r.span = sp }
+
+// Span returns the attached span, nil when observability is disabled.
+func (r ExecRequest) Span() *obs.Span { return r.span }
 
 // CodePush carries mobile code to the cloud (first offload of an app).
 type CodePush struct {

@@ -12,6 +12,7 @@ import (
 
 	"rattrap/internal/core"
 	"rattrap/internal/metrics"
+	"rattrap/internal/obs"
 	"rattrap/internal/offload"
 	"rattrap/internal/sim"
 )
@@ -79,6 +80,14 @@ type Server struct {
 	opts  Options
 	dedup *dedupCache
 
+	// Observability: the server always carries a registry (it is the
+	// platform's observable entry point). Counters are pre-resolved here so
+	// the request path never touches the registry's maps.
+	reg        *obs.Registry
+	cRequests  *obs.Counter // exec frames accepted
+	cDedupHits *obs.Counter // requests answered from the idempotency window
+	cResults   *obs.Counter // result frames sent (success or typed error)
+
 	mu     sync.Mutex
 	closed bool
 	conns  map[net.Conn]struct{}
@@ -121,15 +130,23 @@ func newServer(cfg core.Config, speed float64, logger *log.Logger, ticker bool, 
 	if opts.DedupWindow > 0 {
 		dedup = newDedupCache(opts.DedupWindow)
 	}
-	return &Server{
-		drv:   drv,
-		pl:    pl,
-		log:   logger,
-		lat:   metrics.NewLatencyHistogram(),
-		opts:  opts,
-		dedup: dedup,
-		conns: make(map[net.Conn]struct{}),
+	reg := obs.NewRegistry()
+	pl.SetObs(reg)
+	s := &Server{
+		drv:        drv,
+		pl:         pl,
+		log:        logger,
+		lat:        metrics.NewLatencyHistogram(),
+		opts:       opts,
+		dedup:      dedup,
+		reg:        reg,
+		cRequests:  reg.Counter("server.requests"),
+		cDedupHits: reg.Counter("server.dedup_hits"),
+		cResults:   reg.Counter("server.results"),
+		conns:      make(map[net.Conn]struct{}),
 	}
+	reg.RegisterHistogram("server.request_wall", s.lat)
+	return s
 }
 
 // Platform exposes the underlying platform (status endpoints, tests).
@@ -137,6 +154,12 @@ func (s *Server) Platform() *core.Platform { return s.pl }
 
 // Driver exposes the pacing driver.
 func (s *Server) Driver() *Driver { return s.drv }
+
+// Metrics exposes the server's observability registry: platform counters
+// and gauges (dispatch.*, warehouse.*, core.*), virtual-time stage
+// histograms (stage.*), per-request span folds (server.stage.*), and the
+// wall-clock request histogram (server.request_wall).
+func (s *Server) Metrics() *obs.Registry { return s.reg }
 
 // Latency exposes the wall-clock request-latency histogram: one
 // observation per exec request that produced a result frame, measured
@@ -267,6 +290,7 @@ func (s *Server) handle(conn net.Conn) error {
 		sent, err := s.serveRequest(conn, c, dev, *f.Exec, start)
 		if sent {
 			s.lat.Observe(time.Since(start))
+			s.cResults.Inc()
 		}
 		if err != nil {
 			return err
@@ -315,12 +339,27 @@ func errorResult(err error) offload.Result {
 // interaction instead of four.
 func (s *Server) serveRequest(conn net.Conn, c *offload.Conn, dev string, req offload.ExecRequest, start time.Time) (sent bool, err error) {
 	req.DeviceID = dev
+	s.cRequests.Inc()
 	key := dedupKey(dev, req.AID, req.Seq)
 	if res, ok := s.dedup.lookup(key); ok {
 		// Idempotent retry: the result was computed on a previous attempt
 		// and the reply was lost. Answer from the window, don't re-execute.
+		s.cDedupHits.Inc()
 		return true, s.send(conn, c, offload.Frame{Kind: offload.KindResult, Result: &res})
 	}
+	// Attach a request-scoped span: the platform records its dispatcher,
+	// warehouse and runtime sub-stages (virtual time) into it, and the span
+	// is folded into server.stage.* histograms once the request completes.
+	// Only this handler goroutine and processes injected on its behalf
+	// (which the driver serializes, with happens-before on Do/Inject
+	// boundaries) touch the span, so no lock is needed.
+	sp := obs.NewSpan()
+	req.SetSpan(sp)
+	defer func() {
+		if sent {
+			s.reg.ObserveSpan("server.stage.", sp)
+		}
+	}()
 	var (
 		sess    offload.Session
 		prepErr error
