@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz bench bench-realtime bench-faults bench-stages ci clean
+.PHONY: all build vet test race fuzz bench bench-realtime bench-throughput bench-faults bench-stages ci clean
 
 all: ci
 
@@ -18,7 +18,7 @@ race:
 
 # Micro-benchmarks for the serving layer and dispatcher hot paths.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkRealtimeRoundtrip|BenchmarkDispatcherAcquire' \
+	$(GO) test -run '^$$' -bench 'BenchmarkRealtimeRoundtrip|BenchmarkServerThroughput|BenchmarkDispatcherAcquire' \
 		-benchmem ./internal/realtime/ ./internal/core/ | tee bench.out
 
 # Short fuzz pass over the wire-frame codec (CI runs the same smoke).
@@ -28,6 +28,11 @@ fuzz:
 # Regenerates BENCH_realtime.json (event vs ticker driver comparison).
 bench-realtime:
 	$(GO) run ./cmd/rattrap-bench -realtime
+
+# Regenerates BENCH_throughput.json (pipelined data-plane devices × depth
+# sweep; the checked-in file is the CI regression baseline).
+bench-throughput:
+	$(GO) run ./cmd/rattrap-bench -throughput
 
 # Regenerates BENCH_faults.json (fault-plan robustness sweep).
 bench-faults:

@@ -24,7 +24,7 @@ echo "== fuzz smoke"
 go test -run '^$' -fuzz FuzzFrameCodec -fuzztime 10s ./internal/offload/
 
 echo "== benchmarks"
-go test -run '^$' -bench 'BenchmarkRealtimeRoundtrip|BenchmarkDispatcherAcquire' \
+go test -run '^$' -bench 'BenchmarkRealtimeRoundtrip|BenchmarkServerThroughput|BenchmarkDispatcherAcquire' \
     -benchmem ./internal/realtime/ ./internal/core/ | tee bench.out
 
 # Artifacts below go to a scratch dir so the checked-in BENCH_*.json
@@ -37,5 +37,18 @@ go run ./cmd/rattrap-bench -stages -out "$scratch"
 
 echo "== realtime latency gate (p50 vs checked-in baseline)"
 go run ./cmd/rattrap-bench -realtime -out "$scratch" -baseline BENCH_realtime.json
+
+echo "== throughput gate (pipelined data plane vs checked-in baseline)"
+go run ./cmd/rattrap-bench -throughput -short -out "$scratch" -baseline BENCH_throughput.json
+
+echo "== throughput report determinism (everything but wall-clock fields)"
+mkdir -p "$scratch/tp2"
+go run ./cmd/rattrap-bench -throughput -short -out "$scratch/tp2" > /dev/null
+strip_measured() {
+    grep -v -E '"(req_per_sec|p50_us|p99_us|allocs_per_op|pipeline_speedup_x)":' "$1"
+}
+strip_measured "$scratch/BENCH_throughput.json" > "$scratch/tp_a.json"
+strip_measured "$scratch/tp2/BENCH_throughput.json" > "$scratch/tp_b.json"
+diff "$scratch/tp_a.json" "$scratch/tp_b.json"
 
 echo "== ok"

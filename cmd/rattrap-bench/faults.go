@@ -66,19 +66,34 @@ func runFaultsBench(seed int64, dir string) error {
 	profile := netsim.WANWiFi()
 	rep := faultsReport{Seed: seed, Profile: profile.Name}
 	plans := append([]faults.Plan{faults.Healthy()}, faults.StandardPlans(seed)...)
-	for _, plan := range plans {
+	// Every (plan, retry-mode) run is an independent simulation — its own
+	// engine and injector — so the whole sweep fans out on the experiment
+	// worker pool: cell 2i is plan i single-attempt, cell 2i+1 with
+	// retries. Results merge back in plan order, so the report and the
+	// printed summary are identical to a sequential sweep.
+	results := make([]*experiments.FaultRunResult, 2*len(plans))
+	err := experiments.RunCells(len(results), func(i int) error {
+		plan, retry := plans[i/2], i%2 == 1
 		cfg := experiments.DefaultRun(core.KindRattrap, profile, workload.NameChess, seed)
 		cfg.RequestsPerDevice = 6
 		// Mix in a file-carrying workload so fs.write sites are exercised.
 		cfg.Apps = []string{workload.NameChess, workload.NameOCR}
-		bare, err := experiments.RunFaults(cfg, plan, device.RetryPolicy{}, false)
+		r, err := experiments.RunFaults(cfg, plan, device.RetryPolicy{}, retry)
 		if err != nil {
-			return fmt.Errorf("plan %s (single attempt): %w", plan.Name, err)
+			mode := "single attempt"
+			if retry {
+				mode = "retries"
+			}
+			return fmt.Errorf("plan %s (%s): %w", plan.Name, mode, err)
 		}
-		robust, err := experiments.RunFaults(cfg, plan, device.RetryPolicy{}, true)
-		if err != nil {
-			return fmt.Errorf("plan %s (retries): %w", plan.Name, err)
-		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, plan := range plans {
+		bare, robust := results[2*i], results[2*i+1]
 		rep.Plans = append(rep.Plans, faultPlanReport{
 			Plan:           plan.Name,
 			InjectedFaults: robust.Injected,

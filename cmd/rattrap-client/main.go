@@ -9,9 +9,15 @@
 // in transit is answered from the server's idempotency window instead of
 // being re-executed.
 //
+// With -pipeline N the client keeps up to N requests in flight on one
+// connection; the server executes them concurrently and results come back
+// in completion order, matched by sequence number. The server must be
+// running with a pipeline depth of at least N. Retries are not attempted
+// in pipelined mode.
+//
 // Usage:
 //
-//	rattrap-client [-server localhost:7431] [-app Linpack] [-n 3] [-device phone-1] [-seed 1] [-retries 4]
+//	rattrap-client [-server localhost:7431] [-app Linpack] [-n 3] [-device phone-1] [-seed 1] [-retries 4] [-pipeline 8]
 package main
 
 import (
@@ -109,6 +115,49 @@ func backoff(rng *rand.Rand, base, cap time.Duration, attempt int, retryAfter ti
 	return d
 }
 
+// runPipelined offloads n requests with up to depth in flight on one
+// connection. Results print in completion order; per-request latency is
+// measured from its submit.
+func runPipelined(server, deviceID string, app workload.App, n, depth int, seed int64) error {
+	conn, err := net.Dial("tcp", server)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	aid := offload.AID(app.Name(), app.CodeSize())
+	submitted := make(map[int]time.Time, depth)
+	pc := offload.NewPipelineClient(offload.NewConn(conn), depth,
+		func(need offload.NeedCode) (offload.CodePush, error) {
+			return offload.CodePush{AID: aid, App: app.Name(), Size: app.CodeSize()}, nil
+		},
+		func(res offload.Result) {
+			elapsed := time.Since(submitted[res.Seq]).Round(time.Millisecond)
+			delete(submitted, res.Seq)
+			if res.Err != "" {
+				fmt.Printf("req %d: ERROR after %v: %s\n", res.Seq, elapsed, res.Err)
+				return
+			}
+			fmt.Printf("req %d: %v -> %s\n", res.Seq, elapsed, res.Output)
+		})
+	if err := pc.Hello(deviceID); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		task := app.NewTask(rng, i)
+		req := offload.ExecRequest{
+			DeviceID: deviceID, AID: aid, App: task.App, Method: task.Method,
+			Seq: task.Seq, Params: task.Params, ParamBytes: task.ParamBytes,
+			FileBytes: task.FileBytes, RoundTrips: task.RoundTrips, InteractBytes: task.InteractBytes,
+		}
+		submitted[req.Seq] = time.Now()
+		if err := pc.Submit(req); err != nil {
+			return fmt.Errorf("req %d: %w", i, err)
+		}
+	}
+	return pc.Flush()
+}
+
 func main() {
 	server := flag.String("server", "localhost:7431", "rattrapd address")
 	appName := flag.String("app", workload.NameLinpack, "workload: OCR, ChessGame, VirusScan or Linpack")
@@ -117,6 +166,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "task generator seed")
 	retries := flag.Int("retries", 4, "max attempts per request (1 disables retrying)")
 	retryBase := flag.Duration("retry-base", 200*time.Millisecond, "initial retry backoff")
+	pipeline := flag.Int("pipeline", 1, "requests to keep in flight on one connection (1 = serial)")
 	flag.Parse()
 	if *retries < 1 {
 		*retries = 1
@@ -126,6 +176,12 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rattrap-client: %v\n", err)
 		os.Exit(2)
+	}
+	if *pipeline > 1 {
+		if err := runPipelined(*server, *deviceID, app, *n, *pipeline, *seed); err != nil {
+			log.Fatalf("rattrap-client: %v", err)
+		}
+		return
 	}
 	cl := &client{server: *server, deviceID: *deviceID}
 	if err := cl.connect(); err != nil {

@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	rattrapd [-listen :7431] [-platform rattrap|rattrap-wo|vm] [-speed 1] [-max-runtimes 5] [-http :7432]
+//	rattrapd [-listen :7431] [-platform rattrap|rattrap-wo|vm] [-speed 1] [-max-runtimes 5] [-http :7432] [-pipeline-depth 8]
 package main
 
 import (
@@ -32,6 +32,7 @@ func main() {
 	speed := flag.Float64("speed", 1, "virtual-time speedup factor")
 	maxRuntimes := flag.Int("max-runtimes", 5, "runtime pool cap")
 	httpAddr := flag.String("http", "", "observability listen address (/metrics, /debug/pprof); empty disables")
+	pipelineDepth := flag.Int("pipeline-depth", 1, "exec requests one connection may have in flight (1 = serial)")
 	flag.Parse()
 
 	var kind core.Kind
@@ -50,7 +51,7 @@ func main() {
 	cfg := core.DefaultConfig(kind)
 	cfg.MaxRuntimes = *maxRuntimes
 	logger := log.New(os.Stderr, "rattrapd: ", log.LstdFlags)
-	srv := realtime.NewServer(cfg, *speed, logger)
+	srv := realtime.NewServerOpts(cfg, *speed, logger, realtime.Options{PipelineDepth: *pipelineDepth})
 	defer srv.Close()
 
 	if *httpAddr != "" {

@@ -1,0 +1,83 @@
+package device
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"rattrap/internal/netsim"
+	"rattrap/internal/sim"
+	"rattrap/internal/workload"
+)
+
+// batchElapsed runs n tasks through OffloadBatch at the given depth and
+// returns the batch's virtual-time span plus the results.
+func batchElapsed(t *testing.T, n, depth int) (time.Duration, []BatchResult) {
+	t.Helper()
+	e := sim.NewEngine(1)
+	d, err := New(e, "phone-1", netsim.LANWiFi())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := newFake(e)
+	gw.needCode = false // keep the fake's one-shot needCode out of the way
+	app, _ := workload.ByName(workload.NameLinpack)
+	tasks := make([]workload.Task, n)
+	for i := range tasks {
+		tasks[i] = d.NewTask(app)
+	}
+	var out []BatchResult
+	var elapsed time.Duration
+	e.Spawn("batch", func(p *sim.Proc) {
+		start := e.Now()
+		out = d.OffloadBatch(p, tasks, app.CodeSize(), gw, depth)
+		elapsed = (e.Now() - start).Duration()
+	})
+	e.Run()
+	return elapsed, out
+}
+
+// TestOffloadBatchPipelines: with depth > 1 the batch overlaps requests
+// in virtual time — wall clock well under the serial run — and still
+// returns every result, correct and in task order.
+func TestOffloadBatchPipelines(t *testing.T) {
+	const n = 6
+	serial, serialOut := batchElapsed(t, n, 1)
+	piped, pipedOut := batchElapsed(t, n, 3)
+	for i, r := range pipedOut {
+		if r.Err != nil {
+			t.Fatalf("task %d: %v", i, r.Err)
+		}
+		if !strings.Contains(r.Res.Output, "residual=") {
+			t.Fatalf("task %d output = %q", i, r.Res.Output)
+		}
+		if r.Res.Output != serialOut[i].Res.Output {
+			t.Fatalf("task %d: pipelined output %q differs from serial %q", i, r.Res.Output, serialOut[i].Res.Output)
+		}
+	}
+	// The fake gateway has no slot contention, so depth 3 should cut the
+	// span to roughly a third; require at least a halving to stay robust.
+	if piped*2 >= serial {
+		t.Fatalf("depth 3 batch took %v vs serial %v — no overlap", piped, serial)
+	}
+}
+
+// TestOffloadBatchDeterministic: same seed, same schedule, bit-identical
+// virtual timings.
+func TestOffloadBatchDeterministic(t *testing.T) {
+	a, _ := batchElapsed(t, 5, 3)
+	b, _ := batchElapsed(t, 5, 3)
+	if a != b {
+		t.Fatalf("two identical batches took %v and %v", a, b)
+	}
+}
+
+// TestOffloadBatchDepthClamp: depth < 1 degrades to serial, not panic.
+func TestOffloadBatchDepthClamp(t *testing.T) {
+	_, out := batchElapsed(t, 2, 0)
+	for i, r := range out {
+		if r.Err != nil {
+			t.Fatalf("task %d: %v", i, r.Err)
+		}
+	}
+}

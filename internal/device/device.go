@@ -248,6 +248,56 @@ func (d *Device) Offload(p *sim.Proc, task workload.Task, codeSize host.Bytes, g
 	return ph, res, nil
 }
 
+// BatchResult is one task's outcome from OffloadBatch.
+type BatchResult struct {
+	Phases offload.Phases
+	Res    offload.Result
+	Err    error
+}
+
+// OffloadBatch offloads tasks concurrently with at most depth in flight —
+// the simulated mirror of the realtime server's per-connection
+// pipelining. Each task runs its full offload exchange as its own spawned
+// process; the batch admits the next task as soon as a slot frees and
+// returns, in task order, once all have finished. Tasks must carry
+// distinct Seq values (NewTask guarantees this). The engine's cooperative
+// scheduling keeps the admission bookkeeping race-free and the schedule
+// deterministic per seed.
+func (d *Device) OffloadBatch(p *sim.Proc, tasks []workload.Task, codeSize host.Bytes, gw offload.Gateway, depth int) []BatchResult {
+	if depth < 1 {
+		depth = 1
+	}
+	out := make([]BatchResult, len(tasks))
+	inflight, done, next := 0, 0, 0
+	// One-shot wake signal per wait round; the first finishing worker
+	// fires and clears it, later finishers in the same round skip.
+	var wake *sim.Signal
+	for done < len(tasks) {
+		for next < len(tasks) && inflight < depth {
+			idx := next
+			task := tasks[idx]
+			next++
+			inflight++
+			d.E.Spawn(fmt.Sprintf("%s.batch%d", d.Name, idx), func(wp *sim.Proc) {
+				ph, res, err := d.Offload(wp, task, codeSize, gw)
+				out[idx] = BatchResult{Phases: ph, Res: res, Err: err}
+				inflight--
+				done++
+				if wake != nil {
+					w := wake
+					wake = nil
+					w.Fire()
+				}
+			})
+		}
+		if done < len(tasks) {
+			wake = sim.NewSignal(d.E)
+			p.Wait(wake)
+		}
+	}
+	return out
+}
+
 // RetryPolicy governs OffloadRetry: exponential backoff with jitter,
 // honoring the cloud's retry-after hint on overload rejections.
 type RetryPolicy struct {

@@ -50,7 +50,9 @@ func RunTrace(tcfg trace.Config) (*Figure11, error) {
 
 // RunTraceOpts is RunTrace with a platform-config hook (e.g. enabling the
 // Monitor & Scheduler's idle reclamation to study just-in-time
-// provisioning).
+// provisioning). mod may be called from concurrent replays, one per
+// platform; it receives a per-replay Config copy and must not mutate
+// shared state.
 func RunTraceOpts(tcfg trace.Config, mod func(*core.Config)) (*Figure11, error) {
 	events, err := trace.Generate(tcfg)
 	if err != nil {
@@ -64,11 +66,23 @@ func RunTraceOpts(tcfg trace.Config, mod func(*core.Config)) (*Figure11, error) 
 		Kinds:       []core.Kind{core.KindRattrap, core.KindRattrapWO, core.KindVM},
 		Events:      len(events),
 	}
-	for _, kind := range f.Kinds {
-		speedups, err := replay(seed, kind, events, mod)
+	// One replay per platform; each builds its own engine and devices, so
+	// the three run concurrently on the RunCells pool (events are shared
+	// read-only input).
+	perKind := make([][]float64, len(f.Kinds))
+	err = RunCells(len(f.Kinds), func(i int) error {
+		speedups, err := replay(seed, f.Kinds[i], events, mod)
 		if err != nil {
-			return nil, fmt.Errorf("figure 11 (%v): %w", kind, err)
+			return fmt.Errorf("figure 11 (%v): %w", f.Kinds[i], err)
 		}
+		perKind[i] = speedups
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, kind := range f.Kinds {
+		speedups := perKind[i]
 		f.Speedups[kind] = speedups
 		cdf := metrics.NewCDF(speedups)
 		f.FailureRate[kind] = cdf.FractionBelow(1.0)

@@ -23,16 +23,25 @@ type Figure1 struct {
 	Order       []string
 }
 
-// RunFigure1 executes the §III-B characterization.
+// RunFigure1 executes the §III-B characterization. The four per-workload
+// runs are independent simulations and run on the RunCells worker pool.
 func RunFigure1(seed int64) (*Figure1, error) {
-	f := &Figure1{PerWorkload: make(map[string]*RunResult)}
-	for _, app := range workloadOrder() {
+	f := &Figure1{PerWorkload: make(map[string]*RunResult), Order: workloadOrder()}
+	results := make([]*RunResult, len(f.Order))
+	err := RunCells(len(f.Order), func(i int) error {
+		app := f.Order[i]
 		r, err := Run(DefaultRun(core.KindVM, netsim.LANWiFi(), app, seed))
 		if err != nil {
-			return nil, fmt.Errorf("figure 1 (%s): %w", app, err)
+			return fmt.Errorf("figure 1 (%s): %w", app, err)
 		}
-		f.PerWorkload[app] = r
-		f.Order = append(f.Order, app)
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, app := range f.Order {
+		f.PerWorkload[app] = results[i]
 	}
 	return f, nil
 }

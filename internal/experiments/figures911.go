@@ -21,21 +21,40 @@ type Comparison struct {
 // RunComparison executes the §VI-C experiment ("to model the user
 // behavior, we use 5 Android devices running offloading workloads, and the
 // same inflow of requests is used for both Rattrap and VM-based cloud").
+// The workload × platform cells are independent simulations, so they run
+// on the RunCells worker pool and merge in sweep order.
 func RunComparison(seed int64) (*Comparison, error) {
 	c := &Comparison{
 		Runs:  make(map[string]map[core.Kind]*RunResult),
 		Order: workloadOrder(),
 		Kinds: []core.Kind{core.KindRattrap, core.KindRattrapWO, core.KindVM},
 	}
+	type cell struct {
+		app  string
+		kind core.Kind
+	}
+	var cells []cell
 	for _, app := range c.Order {
 		c.Runs[app] = make(map[core.Kind]*RunResult)
 		for _, kind := range c.Kinds {
-			r, err := Run(DefaultRun(kind, netsim.LANWiFi(), app, seed))
-			if err != nil {
-				return nil, fmt.Errorf("comparison (%s, %v): %w", app, kind, err)
-			}
-			c.Runs[app][kind] = r
+			cells = append(cells, cell{app, kind})
 		}
+	}
+	results := make([]*RunResult, len(cells))
+	err := RunCells(len(cells), func(i int) error {
+		cl := cells[i]
+		r, err := Run(DefaultRun(cl.kind, netsim.LANWiFi(), cl.app, seed))
+		if err != nil {
+			return fmt.Errorf("comparison (%s, %v): %w", cl.app, cl.kind, err)
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, cl := range cells {
+		c.Runs[cl.app][cl.kind] = results[i]
 	}
 	return c, nil
 }
@@ -152,27 +171,44 @@ func RunFigure10(seed int64) (*Figure10, error) {
 		Profiles: []string{"LAN WiFi", "WAN WiFi", "4G", "3G"},
 		Kinds:    []core.Kind{core.KindRattrap, core.KindRattrapWO, core.KindVM},
 	}
+	type cell struct {
+		app, prof string
+		kind      core.Kind
+	}
+	var cells []cell
 	for _, app := range f.Order {
 		f.Norm[app] = make(map[string]map[core.Kind]float64)
 		for _, profName := range f.Profiles {
-			prof, err := netsim.ProfileByName(profName)
-			if err != nil {
-				return nil, err
-			}
 			f.Norm[app][profName] = make(map[core.Kind]float64)
 			for _, kind := range f.Kinds {
-				// The paper replays recorded request streams, long enough
-				// that cold starts amortize; 20 requests per device keeps
-				// that property while still including the cold phase.
-				cfg := DefaultRun(kind, prof, app, seed)
-				cfg.RequestsPerDevice = 20
-				r, err := Run(cfg)
-				if err != nil {
-					return nil, fmt.Errorf("figure 10 (%s, %s, %v): %w", app, profName, kind, err)
-				}
-				f.Norm[app][profName][kind] = r.MeanEnergyNormalized()
+				cells = append(cells, cell{app, profName, kind})
 			}
 		}
+	}
+	norms := make([]float64, len(cells))
+	err := RunCells(len(cells), func(i int) error {
+		cl := cells[i]
+		prof, err := netsim.ProfileByName(cl.prof)
+		if err != nil {
+			return err
+		}
+		// The paper replays recorded request streams, long enough that
+		// cold starts amortize; 20 requests per device keeps that
+		// property while still including the cold phase.
+		cfg := DefaultRun(cl.kind, prof, cl.app, seed)
+		cfg.RequestsPerDevice = 20
+		r, err := Run(cfg)
+		if err != nil {
+			return fmt.Errorf("figure 10 (%s, %s, %v): %w", cl.app, cl.prof, cl.kind, err)
+		}
+		norms[i] = r.MeanEnergyNormalized()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, cl := range cells {
+		f.Norm[cl.app][cl.prof][cl.kind] = norms[i]
 	}
 	return f, nil
 }

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// sweepWorkers caps how many experiment cells run concurrently in
+// RunCells. 0 (the default) means GOMAXPROCS; tests pin it to 1 to check
+// the parallel merge against a sequential golden.
+var sweepWorkers = 0
+
+// RunCells executes n independent experiment cells on a bounded worker
+// pool. Each cell must be self-contained — its own sim.Engine, platform
+// and devices — which is what every runner in this package already builds
+// per Run call; the engines themselves stay single-threaded. The callback
+// writes its result into index-addressed storage, so the caller merges in
+// index order and every derived artifact is bit-identical to a sequential
+// sweep; only wall-clock time changes. On failure the lowest-indexed
+// cell error is returned — again what a sequential loop would have
+// reported first.
+func RunCells(n int, run func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := sweepWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = run(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

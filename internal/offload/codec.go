@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // The real-time wire protocol used by cmd/rattrapd and cmd/rattrap-client:
@@ -22,6 +23,28 @@ import (
 // allocates up to its internal 1 GiB ceiling from a single malicious
 // frame. With the prefix, anything above the connection's frame limit is
 // refused with ErrFrameTooLarge at the cost of one uvarint read.
+//
+// # Pooled wire path
+//
+// The codec is allocation-lean on the per-frame hot path:
+//
+//   - One gob.Encoder and one gob.Decoder persist for the Conn's lifetime.
+//     Gob streams carry their type definitions once up front, so the first
+//     frame in each direction pays the descriptor bytes and every later
+//     frame is value-only — smaller on the wire and cheaper to code. A
+//     fresh encoder per frame (the old scheme) re-sent the descriptors and
+//     re-allocated the engine state on every Send.
+//   - The encode scratch buffer (sendBuf) lives on the Conn and is Reset
+//     between frames; a warm Send performs zero heap allocations (gated by
+//     TestFrameEncodeZeroAlloc).
+//   - Recv payload buffers come from a package-level sync.Pool shared by
+//     all connections. Gob copies decoded data out of the scratch buffer,
+//     so the buffer is recycled as soon as Decode returns.
+//
+// The price of the persistent stream state: a Conn whose Send or Recv
+// returned an error is poisoned (the two sides' descriptor state may have
+// diverged) and must be dropped, not reused. Every caller in this repo
+// already treats codec errors as connection-fatal.
 
 // DefaultMaxFrame bounds a single frame's encoded size. Code pushes carry
 // metadata (the blob itself is modeled by size), and Params payloads are
@@ -49,13 +72,23 @@ type Hello struct {
 	DeviceID string
 }
 
+// NeedCode asks the device to transfer mobile code. Seq identifies which
+// in-flight request the ask belongs to, so pipelined clients can route it;
+// serial clients may ignore the payload (and old-style NEED_CODE frames
+// without one are still valid).
+type NeedCode struct {
+	Seq int
+	AID string
+}
+
 // Frame is one protocol message.
 type Frame struct {
-	Kind   Kind
-	Hello  *Hello
-	Exec   *ExecRequest
-	Code   *CodePush
-	Result *Result
+	Kind     Kind
+	Hello    *Hello
+	Exec     *ExecRequest
+	NeedCode *NeedCode
+	Code     *CodePush
+	Result   *Result
 }
 
 // Validate checks that the frame's payload matches its kind.
@@ -78,20 +111,74 @@ func (f *Frame) Validate() error {
 			return fmt.Errorf("offload: result frame without payload")
 		}
 	case KindNeedCode:
-		// No payload.
+		// Payload optional: it routes the ask under pipelining.
 	default:
 		return fmt.Errorf("offload: unknown frame kind %q", f.Kind)
 	}
 	return nil
 }
 
-// Conn frames protocol messages over a byte stream.
+// recvBufPool recycles Recv payload scratch buffers across all
+// connections. It stores *[]byte (not []byte) so Put does not box a fresh
+// slice header per call. Buffers are capacity-capped on return so a single
+// oversized frame does not pin its worst-case allocation forever.
+var recvBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
+// maxPooledBuf caps the capacity of buffers returned to recvBufPool.
+const maxPooledBuf = 64 << 10
+
+// frameReader serves one frame's payload bytes to the persistent gob
+// decoder. It implements io.ByteReader so gob does not wrap it in a
+// bufio.Reader (which would read ahead across frame boundaries).
+type frameReader struct {
+	buf []byte
+	pos int
+}
+
+func (r *frameReader) Read(p []byte) (int, error) {
+	if r.pos >= len(r.buf) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.buf[r.pos:])
+	r.pos += n
+	return n, nil
+}
+
+func (r *frameReader) ReadByte() (byte, error) {
+	if r.pos >= len(r.buf) {
+		return 0, io.EOF
+	}
+	b := r.buf[r.pos]
+	r.pos++
+	return b, nil
+}
+
+// Conn frames protocol messages over a byte stream. Conn methods are not
+// safe for concurrent use: pipelined callers must funnel all Sends through
+// one writer goroutine and all Recvs through one reader goroutine (the
+// two directions are independent).
 type Conn struct {
 	r        *bufio.Reader
 	w        io.Writer
 	maxFrame int
-	sendBuf  bytes.Buffer
-	lenBuf   [binary.MaxVarintLen64]byte
+
+	// Send-side persistent state: the gob stream encoder, its scratch
+	// buffer, and a scratch Frame that keeps the encoded value off the
+	// heap (passing a stack &f to Encode would escape per call).
+	enc        *gob.Encoder
+	sendBuf    bytes.Buffer
+	sendFrame  Frame
+	lenBuf     [binary.MaxVarintLen64]byte
+	sendBroken bool
+
+	// Recv-side persistent state: the gob stream decoder and the reader
+	// it drains the current frame from.
+	dec        *gob.Decoder
+	recvSrc    frameReader
+	recvBroken bool
 }
 
 // NewConn wraps a stream (e.g. a net.Conn) in the protocol codec with the
@@ -104,52 +191,92 @@ func NewConnLimit(rw io.ReadWriter, maxFrame int) *Conn {
 	if maxFrame <= 0 {
 		maxFrame = DefaultMaxFrame
 	}
-	return &Conn{r: bufio.NewReader(rw), w: rw, maxFrame: maxFrame}
+	c := &Conn{r: bufio.NewReader(rw), w: rw, maxFrame: maxFrame}
+	c.enc = gob.NewEncoder(&c.sendBuf)
+	c.dec = gob.NewDecoder(&c.recvSrc)
+	return c
 }
 
-// Send writes one frame.
+// Send writes one frame. After a non-nil error the Conn's send side is
+// poisoned and the connection must be dropped: the persistent gob stream
+// state may no longer agree with the receiver's.
 func (c *Conn) Send(f Frame) error {
 	if err := f.Validate(); err != nil {
 		return err
 	}
+	if c.sendBroken {
+		return errors.New("offload: send on poisoned connection")
+	}
 	c.sendBuf.Reset()
-	if err := gob.NewEncoder(&c.sendBuf).Encode(&f); err != nil {
+	c.sendFrame = f
+	if err := c.enc.Encode(&c.sendFrame); err != nil {
+		c.sendBroken = true
 		return err
 	}
+	c.sendFrame = Frame{} // don't pin payload pointers between sends
 	if c.sendBuf.Len() > c.maxFrame {
+		c.sendBroken = true
 		return fmt.Errorf("%w: encoding %d bytes, limit %d", ErrFrameTooLarge, c.sendBuf.Len(), c.maxFrame)
 	}
 	n := binary.PutUvarint(c.lenBuf[:], uint64(c.sendBuf.Len()))
 	if _, err := c.w.Write(c.lenBuf[:n]); err != nil {
+		c.sendBroken = true
 		return err
 	}
-	_, err := c.w.Write(c.sendBuf.Bytes())
-	return err
+	if _, err := c.w.Write(c.sendBuf.Bytes()); err != nil {
+		c.sendBroken = true
+		return err
+	}
+	return nil
 }
 
 // Recv reads one frame. A frame whose declared size exceeds the
 // connection's limit is rejected with ErrFrameTooLarge before any
-// payload-sized allocation happens.
+// payload-sized allocation happens. After a non-nil error (other than a
+// clean io.EOF at a frame boundary) the Conn's receive side is poisoned
+// and the connection must be dropped.
 func (c *Conn) Recv() (Frame, error) {
+	if c.recvBroken {
+		return Frame{}, errors.New("offload: recv on poisoned connection")
+	}
 	size, err := binary.ReadUvarint(c.r)
 	if err != nil {
 		return Frame{}, err
 	}
 	if size > uint64(c.maxFrame) {
+		c.recvBroken = true
 		return Frame{}, fmt.Errorf("%w: declared %d bytes, limit %d", ErrFrameTooLarge, size, c.maxFrame)
 	}
-	buf := make([]byte, int(size))
+	bp := recvBufPool.Get().(*[]byte)
+	if cap(*bp) < int(size) {
+		*bp = make([]byte, size)
+	}
+	buf := (*bp)[:size]
+	putBuf := func() {
+		if cap(buf) <= maxPooledBuf {
+			*bp = buf[:0]
+			recvBufPool.Put(bp)
+		}
+	}
 	if _, err := io.ReadFull(c.r, buf); err != nil {
+		putBuf()
+		c.recvBroken = true
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
 		}
 		return Frame{}, err
 	}
+	c.recvSrc.buf, c.recvSrc.pos = buf, 0
 	var f Frame
-	if err := gob.NewDecoder(bytes.NewReader(buf)).Decode(&f); err != nil {
+	err = c.dec.Decode(&f)
+	c.recvSrc.buf = nil
+	putBuf()
+	if err != nil {
+		c.recvBroken = true
 		return Frame{}, err
 	}
 	if err := f.Validate(); err != nil {
+		c.recvBroken = true
 		return Frame{}, err
 	}
 	return f, nil

@@ -65,5 +65,35 @@ func FuzzFrameCodec(f *testing.F) {
 		if back.Kind != fr.Kind {
 			t.Fatalf("round trip changed kind: %s -> %s", fr.Kind, back.Kind)
 		}
+
+		// Pooled-path exercise: run the same frame through one persistent
+		// connection several times. Each Recv returns its scratch buffer to
+		// the pool and each Send reuses the encoder scratch, so a frame
+		// corrupted by buffer recycling (a payload aliasing a recycled
+		// buffer, stale bytes from a larger previous frame) would surface
+		// as a decode error or a kind flip on the later iterations.
+		var stream bytes.Buffer
+		pc := NewConnLimit(&stream, limit)
+		const rounds = 3
+		for i := 0; i < rounds; i++ {
+			if err := pc.Send(fr); err != nil {
+				t.Fatalf("pooled send %d failed: %v", i, err)
+			}
+		}
+		for i := 0; i < rounds; i++ {
+			got, err := pc.Recv()
+			if err != nil {
+				t.Fatalf("pooled recv %d failed: %v", i, err)
+			}
+			if got.Kind != fr.Kind {
+				t.Fatalf("pooled recv %d changed kind: %s -> %s", i, fr.Kind, got.Kind)
+			}
+			if err := got.Validate(); err != nil {
+				t.Fatalf("pooled recv %d returned an invalid frame: %v", i, err)
+			}
+			if fr.Kind == KindExec && !bytes.Equal(got.Exec.Params, fr.Exec.Params) {
+				t.Fatalf("pooled recv %d corrupted params: %x -> %x", i, fr.Exec.Params, got.Exec.Params)
+			}
+		}
 	})
 }

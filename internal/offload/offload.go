@@ -61,10 +61,13 @@ func (r *ExecRequest) SetSpan(sp *obs.Span) { r.span = sp }
 func (r ExecRequest) Span() *obs.Span { return r.span }
 
 // CodePush carries mobile code to the cloud (first offload of an app).
+// Seq echoes the exec request the push answers so a pipelined server can
+// route it to the right in-flight worker; serial clients may leave it 0.
 type CodePush struct {
 	AID  string
 	App  string
 	Size host.Bytes
+	Seq  int
 }
 
 // Machine-readable error classes carried by Result.Code so clients can
@@ -91,6 +94,9 @@ type Result struct {
 	Code string
 	// RetryAfterMs is the cloud's backoff hint for CodeOverloaded.
 	RetryAfterMs int64
+	// Seq echoes ExecRequest.Seq so pipelined clients can match responses
+	// that arrive out of order. Serial clients may ignore it.
+	Seq int
 }
 
 // RetryAfter returns the overload backoff hint as a duration.

@@ -1,0 +1,140 @@
+package offload
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PipelineClient drives the wire protocol with up to depth exec requests
+// in flight on one connection. It is single-goroutine by construction:
+// Submit and Flush process incoming frames inline while they wait, so the
+// Conn is never touched concurrently. Results arrive in completion order,
+// not submission order, matched by Result.Seq — every in-flight request
+// must therefore carry a distinct Seq.
+//
+// A server-side NEED_CODE is answered through the code callback; the
+// returned push is stamped with the asking request's Seq so the server
+// routes it to the right in-flight exchange.
+type PipelineClient struct {
+	c       *Conn
+	depth   int
+	code    func(NeedCode) (CodePush, error)
+	onRes   func(Result)
+	pending map[int]struct{}
+	err     error
+}
+
+// NewPipelineClient wraps an established protocol connection. depth < 1
+// is treated as 1 (serial). code supplies the mobile code when the cloud
+// asks for it; nil fails the pipeline on any NEED_CODE. onResult, if
+// non-nil, is called for every result as it arrives.
+func NewPipelineClient(c *Conn, depth int, code func(NeedCode) (CodePush, error), onResult func(Result)) *PipelineClient {
+	if depth < 1 {
+		depth = 1
+	}
+	return &PipelineClient{
+		c:       c,
+		depth:   depth,
+		code:    code,
+		onRes:   onResult,
+		pending: make(map[int]struct{}, depth),
+	}
+}
+
+// Hello opens the session.
+func (p *PipelineClient) Hello(deviceID string) error {
+	if p.err != nil {
+		return p.err
+	}
+	if err := p.c.Send(Frame{Kind: KindHello, Hello: &Hello{DeviceID: deviceID}}); err != nil {
+		p.err = err
+		return err
+	}
+	return nil
+}
+
+// InFlight reports how many submitted requests have not yet produced a
+// result.
+func (p *PipelineClient) InFlight() int { return len(p.pending) }
+
+// Submit sends one exec request, first draining incoming frames until the
+// pipeline window has room. The request's Seq must be unique among
+// in-flight requests.
+func (p *PipelineClient) Submit(req ExecRequest) error {
+	if p.err != nil {
+		return p.err
+	}
+	if _, dup := p.pending[req.Seq]; dup {
+		return fmt.Errorf("offload: seq %d already in flight", req.Seq)
+	}
+	for len(p.pending) >= p.depth {
+		if err := p.step(); err != nil {
+			return err
+		}
+	}
+	if err := p.c.Send(Frame{Kind: KindExec, Exec: &req}); err != nil {
+		p.err = err
+		return err
+	}
+	p.pending[req.Seq] = struct{}{}
+	return nil
+}
+
+// Flush processes incoming frames until every in-flight request has
+// resolved.
+func (p *PipelineClient) Flush() error {
+	if p.err != nil {
+		return p.err
+	}
+	for len(p.pending) > 0 {
+		if err := p.step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// step handles one incoming frame: a NEED_CODE triggers the code
+// callback, a result completes its request.
+func (p *PipelineClient) step() error {
+	f, err := p.c.Recv()
+	if err != nil {
+		p.err = err
+		return err
+	}
+	switch f.Kind {
+	case KindNeedCode:
+		var need NeedCode
+		if f.NeedCode != nil {
+			need = *f.NeedCode
+		}
+		if p.code == nil {
+			p.err = errors.New("offload: cloud asked for code but no code source configured")
+			return p.err
+		}
+		push, err := p.code(need)
+		if err != nil {
+			p.err = err
+			return err
+		}
+		push.Seq = need.Seq
+		if err := p.c.Send(Frame{Kind: KindCode, Code: &push}); err != nil {
+			p.err = err
+			return err
+		}
+	case KindResult:
+		res := *f.Result
+		if _, ok := p.pending[res.Seq]; !ok {
+			p.err = fmt.Errorf("offload: result for unknown seq %d", res.Seq)
+			return p.err
+		}
+		delete(p.pending, res.Seq)
+		if p.onRes != nil {
+			p.onRes(res)
+		}
+	default:
+		p.err = fmt.Errorf("offload: unexpected %s frame from the cloud", f.Kind)
+		return p.err
+	}
+	return nil
+}

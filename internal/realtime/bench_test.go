@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"net"
 	"testing"
+	"time"
 
 	"rattrap/internal/core"
 	"rattrap/internal/offload"
@@ -40,19 +41,23 @@ func newBenchClient(b *testing.B, addr string) *benchClient {
 	}
 }
 
-// tinyParams is a deliberately small Linpack system (gob field names match
-// the app's parameter struct): the real factorization costs microseconds,
-// so the measurement isolates dispatch latency instead of payload compute.
-func tinyParams(b *testing.B) []byte {
+// linpackParams encodes an order-n Linpack system (gob field names match
+// the app's parameter struct).
+func linpackParams(b *testing.B, n int) []byte {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(struct {
 		Seed int64
 		N    int
-	}{Seed: 7, N: 8}); err != nil {
+	}{Seed: 7, N: n}); err != nil {
 		b.Fatal(err)
 	}
 	return buf.Bytes()
 }
+
+// tinyParams is a deliberately small system: the real factorization costs
+// microseconds, so the measurement isolates dispatch latency instead of
+// payload compute.
+func tinyParams(b *testing.B) []byte { return linpackParams(b, 8) }
 
 func (bc *benchClient) roundtrip(b *testing.B, seq int) {
 	if err := bc.c.Send(offload.Frame{Kind: offload.KindExec, Exec: &offload.ExecRequest{
@@ -124,4 +129,83 @@ func benchmarkRoundtrip(b *testing.B, ticker bool) {
 func BenchmarkRealtimeRoundtrip(b *testing.B) {
 	b.Run("event", func(b *testing.B) { benchmarkRoundtrip(b, false) })
 	b.Run("ticker", func(b *testing.B) { benchmarkRoundtrip(b, true) })
+}
+
+// The throughput benchmark wants a request whose *paced* virtual cost
+// (the exec sleep, which overlapping requests share) dominates its
+// serialized dispatch overhead, while the real factorization stays cheap:
+// an order-64 system is ~0.15 s virtual but only ~80k real flops. At 200x
+// (still well past the 100x floor) the paced portion is a few hundred µs
+// of wall time — the window pipelining exists to overlap. At benchSpeed
+// it would round to zero and every depth would measure only the
+// serialized dispatch path.
+const (
+	throughputSpeed = 200
+	throughputOrder = 64
+)
+
+func benchmarkThroughput(b *testing.B, depth int) {
+	cfg := core.DefaultConfig(core.KindRattrap)
+	cfg.IdleTimeout = 0
+	srv := NewServerOpts(cfg, throughputSpeed, nil, Options{PipelineDepth: depth})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer ln.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	app, _ := workload.ByName(workload.NameLinpack)
+	aid := offload.AID(app.Name(), app.CodeSize())
+	params := linpackParams(b, throughputOrder)
+	pc := offload.NewPipelineClient(offload.NewConn(conn), depth,
+		func(need offload.NeedCode) (offload.CodePush, error) {
+			return offload.CodePush{AID: aid, App: app.Name(), Size: app.CodeSize()}, nil
+		},
+		func(res offload.Result) {
+			if res.Err != "" {
+				b.Errorf("request %d: cloud error: %s", res.Seq, res.Err)
+			}
+		})
+	if err := pc.Hello("bench-dev"); err != nil {
+		b.Fatal(err)
+	}
+	submit := func(seq int) {
+		if err := pc.Submit(offload.ExecRequest{
+			AID: aid, App: app.Name(), Method: "solve", Seq: seq,
+			Params: params, ParamBytes: 500,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	submit(0) // warm-up: boots the runtime and stages the code
+	if err := pc.Flush(); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		submit(i + 1)
+	}
+	if err := pc.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "req/s")
+}
+
+// BenchmarkServerThroughput measures closed-loop requests/sec over one
+// connection: serial (depth 1) versus pipelined (depth 8). Pipelining
+// overlaps the dispatch injections and wire I/O of up to 8 requests, so
+// depth 8 should sustain a multiple of the serial request rate.
+func BenchmarkServerThroughput(b *testing.B) {
+	b.Run("depth1", func(b *testing.B) { benchmarkThroughput(b, 1) })
+	b.Run("depth8", func(b *testing.B) { benchmarkThroughput(b, 8) })
 }

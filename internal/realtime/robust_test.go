@@ -127,26 +127,55 @@ func TestIdempotentRetryDoesNotReExecute(t *testing.T) {
 
 // TestDedupCacheEviction pins the window's FIFO bound.
 func TestDedupCacheEviction(t *testing.T) {
+	key := func(dev string) dedupKey { return dedupKey{dev: dev, aid: "app", seq: 0} }
 	dc := newDedupCache(2)
-	dc.store("a", offload.Result{Output: "a"})
-	dc.store("b", offload.Result{Output: "b"})
-	dc.store("c", offload.Result{Output: "c"}) // evicts a
-	if _, ok := dc.lookup("a"); ok {
+	dc.store(key("a"), offload.Result{Output: "a"})
+	dc.store(key("b"), offload.Result{Output: "b"})
+	dc.store(key("c"), offload.Result{Output: "c"}) // evicts a
+	if _, ok := dc.lookup(key("a")); ok {
 		t.Fatal("oldest entry not evicted")
 	}
 	for _, k := range []string{"b", "c"} {
-		if r, ok := dc.lookup(k); !ok || r.Output != k {
+		if r, ok := dc.lookup(key(k)); !ok || r.Output != k {
 			t.Fatalf("entry %q missing after eviction", k)
 		}
 	}
-	dc.store("b", offload.Result{Output: "b2"}) // overwrite, no growth
-	if r, _ := dc.lookup("b"); r.Output != "b2" {
+	dc.store(key("b"), offload.Result{Output: "b2"}) // overwrite, no growth
+	if r, _ := dc.lookup(key("b")); r.Output != "b2" {
 		t.Fatal("overwrite did not take")
 	}
 	var nilCache *dedupCache
-	nilCache.store("x", offload.Result{})
-	if _, ok := nilCache.lookup("x"); ok {
+	nilCache.store(key("x"), offload.Result{})
+	if _, ok := nilCache.lookup(key("x")); ok {
 		t.Fatal("nil cache should be inert")
+	}
+}
+
+// TestDedupZeroAlloc gates the idempotency window's hot path: lookup
+// (hit and miss) and store — including the at-capacity eviction path —
+// must not allocate.
+func TestDedupZeroAlloc(t *testing.T) {
+	const capacity = 64
+	dc := newDedupCache(capacity)
+	// Fill to capacity so store exercises FIFO eviction, its steady state
+	// on a busy server.
+	for i := 0; i < capacity; i++ {
+		dc.store(dedupKey{dev: "phone", aid: "app", seq: i}, offload.Result{Output: "x", Seq: i})
+	}
+	seq := capacity
+	if avg := testing.AllocsPerRun(500, func() {
+		dc.store(dedupKey{dev: "phone", aid: "app", seq: seq}, offload.Result{Output: "x", Seq: seq})
+		seq++
+	}); avg != 0 {
+		t.Fatalf("store at capacity allocates %.1f times per op, want 0", avg)
+	}
+	hit := dedupKey{dev: "phone", aid: "app", seq: seq - 1}
+	miss := dedupKey{dev: "phone", aid: "app", seq: -1}
+	if avg := testing.AllocsPerRun(500, func() {
+		dc.lookup(hit)
+		dc.lookup(miss)
+	}); avg != 0 {
+		t.Fatalf("lookup allocates %.1f times per op, want 0", avg)
 	}
 }
 
@@ -162,8 +191,14 @@ func TestOptionsDefaults(t *testing.T) {
 	if o.MaxFrame != offload.DefaultMaxFrame || o.DedupWindow != 256 {
 		t.Fatalf("default frame/dedup: %+v", o)
 	}
-	d := Options{ReadTimeout: -1, WriteTimeout: -1, RequestTimeout: -1, IdleTimeout: -1}.withDefaults()
+	if o.PipelineDepth != 1 {
+		t.Fatalf("default pipeline depth: %+v", o)
+	}
+	d := Options{ReadTimeout: -1, WriteTimeout: -1, RequestTimeout: -1, IdleTimeout: -1, PipelineDepth: -3}.withDefaults()
 	if d.ReadTimeout != 0 || d.WriteTimeout != 0 || d.RequestTimeout != 0 || d.IdleTimeout != 0 {
 		t.Fatalf("negative should disable: %+v", d)
+	}
+	if d.PipelineDepth != 1 {
+		t.Fatalf("negative pipeline depth should clamp to 1: %+v", d)
 	}
 }

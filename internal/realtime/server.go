@@ -6,7 +6,6 @@ import (
 	"io"
 	"log"
 	"net"
-	"strconv"
 	"sync"
 	"time"
 
@@ -44,6 +43,15 @@ type Options struct {
 	// request whose result was computed but lost in transit is answered
 	// from this window without re-executing. Default 256 entries.
 	DedupWindow int
+	// PipelineDepth is how many exec requests one connection may have in
+	// flight at once. The connection's decode loop keeps reading frames
+	// while requests execute, and results are sent as they complete —
+	// possibly out of order, matched by Result.Seq. 1 (the default)
+	// preserves strictly serial per-connection behavior. A client must not
+	// pipeline deeper than the server's depth: once the decode loop blocks
+	// on admission it stops reading frames (including code pushes) until a
+	// slot frees.
+	PipelineDepth int
 }
 
 func (o Options) withDefaults() Options {
@@ -67,6 +75,9 @@ func (o Options) withDefaults() Options {
 	if o.DedupWindow == 0 {
 		o.DedupWindow = 256
 	}
+	if o.PipelineDepth < 1 {
+		o.PipelineDepth = 1
+	}
 	return o
 }
 
@@ -88,10 +99,11 @@ type Server struct {
 	cDedupHits *obs.Counter // requests answered from the idempotency window
 	cResults   *obs.Counter // result frames sent (success or typed error)
 
-	mu     sync.Mutex
-	closed bool
-	conns  map[net.Conn]struct{}
-	wg     sync.WaitGroup // in-flight connection handlers
+	mu       sync.Mutex
+	closed   bool
+	closedCh chan struct{} // closed by Close; unblocks admission waits
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup // in-flight connection handlers
 }
 
 // NewServer builds a platform of the given kind and starts its pacing
@@ -143,6 +155,7 @@ func newServer(cfg core.Config, speed float64, logger *log.Logger, ticker bool, 
 		cRequests:  reg.Counter("server.requests"),
 		cDedupHits: reg.Counter("server.dedup_hits"),
 		cResults:   reg.Counter("server.results"),
+		closedCh:   make(chan struct{}),
 		conns:      make(map[net.Conn]struct{}),
 	}
 	reg.RegisterHistogram("server.request_wall", s.lat)
@@ -221,10 +234,15 @@ func (s *Server) isClosed() bool {
 
 // Close closes live connections, waits for every in-flight handler to
 // drain, and only then stops the driver — so no handler can touch the
-// driver after Stop.
+// driver after Stop. Closing conns alone cannot unpark a decode loop
+// blocked on pipeline admission (it is waiting on a channel, not a read),
+// so Close also closes closedCh, which every admission wait selects on.
 func (s *Server) Close() {
 	s.mu.Lock()
-	s.closed = true
+	if !s.closed {
+		s.closed = true
+		close(s.closedCh)
+	}
 	for c := range s.conns {
 		c.Close()
 	}
@@ -261,7 +279,9 @@ func (s *Server) sendProtocolError(conn net.Conn, c *offload.Conn, msg string) {
 	}})
 }
 
-// handle speaks the protocol with one device.
+// handle speaks the protocol with one device. After the hello it hands
+// the connection to a connHandler, which pipelines up to PipelineDepth
+// requests concurrently.
 func (s *Server) handle(conn net.Conn) error {
 	c := offload.NewConnLimit(conn, s.opts.MaxFrame)
 	hello, err := s.recv(conn, c, s.opts.ReadTimeout)
@@ -275,27 +295,282 @@ func (s *Server) handle(conn net.Conn) error {
 	}
 	dev := hello.Hello.DeviceID
 	s.log.Printf("device %s connected", dev)
+	h := &connHandler{
+		s:          s,
+		conn:       conn,
+		c:          c,
+		dev:        dev,
+		sem:        make(chan struct{}, s.opts.PipelineDepth),
+		out:        make(chan outMsg, s.opts.PipelineDepth+2),
+		connDone:   make(chan struct{}),
+		writerDone: make(chan struct{}),
+		codeWait:   make(map[int]chan offload.CodePush),
+	}
+	return h.run()
+}
 
+// outMsg is one frame queued for the connection's writer goroutine.
+type outMsg struct {
+	frame offload.Frame
+	// start, when set, marks the frame as a request's result: on a
+	// successful send the writer observes the wall-clock latency, counts
+	// the result, and folds span (if any) into server.stage.*. Results
+	// are observed only when actually delivered.
+	start time.Time
+	span  *obs.Span
+	// fatal, when non-empty, is a protocol violation: the writer delivers
+	// the frame best-effort and then tears the connection down.
+	fatal string
+}
+
+// connHandler pipelines one device connection: a decode loop (the
+// connection handler's own goroutine) admits exec frames and routes code
+// pushes, per-request worker goroutines drive the platform, and a single
+// writer goroutine owns the send side of the codec. Responses may leave
+// out of order; clients match them by Result.Seq.
+type connHandler struct {
+	s    *Server
+	conn net.Conn
+	c    *offload.Conn
+	dev  string
+
+	sem        chan struct{} // pipeline admission tokens (cap = PipelineDepth)
+	out        chan outMsg   // workers/decode loop -> writer
+	connDone   chan struct{} // closed when the decode loop exits
+	writerDone chan struct{} // closed when the writer exits
+
+	workers sync.WaitGroup
+
+	mu       sync.Mutex
+	inflight int
+	codeWait map[int]chan offload.CodePush // seq -> worker awaiting a push
+	codeFIFO []int                         // arrival order, for pushes without a Seq
+
+	errOnce sync.Once
+	err     error
+}
+
+// run owns the shutdown sequence: when the decode loop exits (read error,
+// protocol violation, or server close), connDone aborts workers parked on
+// code waits, the workers drain through the platform, and only then is
+// the writer's queue closed — every queued frame gets its send attempt.
+func (h *connHandler) run() error {
+	go h.writer()
+	loopErr := h.decodeLoop()
+	close(h.connDone)
+	h.workers.Wait()
+	close(h.out)
+	<-h.writerDone
+	if h.err != nil {
+		// A worker or the writer failed first; the decode loop's error is
+		// just the fallout of the conn being torn down under it.
+		return h.err
+	}
+	return loopErr
+}
+
+// decodeLoop reads frames for the connection's whole life. Exec frames
+// are admitted against the pipeline semaphore (and the server's close
+// signal); code frames are routed to the worker that asked for them.
+func (h *connHandler) decodeLoop() error {
+	s := h.s
 	for {
-		f, err := s.recv(conn, c, s.opts.IdleTimeout)
+		h.armIdleDeadline()
+		f, err := h.c.Recv()
 		if err != nil {
 			return err
 		}
-		if f.Kind != offload.KindExec {
+		switch f.Kind {
+		case offload.KindExec:
+			select {
+			case h.sem <- struct{}{}:
+			case <-s.closedCh:
+				return errors.New("realtime: server shutting down")
+			}
+			h.beginRequest()
+			req := *f.Exec
+			start := time.Now()
+			h.workers.Add(1)
+			go func() {
+				defer h.workers.Done()
+				defer h.endRequest()
+				h.serveRequest(req, start)
+			}()
+		case offload.KindCode:
+			if !h.routeCode(*f.Code) {
+				msg := "realtime: code frame with no code transfer pending"
+				h.enqueueProtocolError(msg)
+				return errors.New(msg)
+			}
+		default:
 			msg := fmt.Sprintf("realtime: expected exec, got %s", f.Kind)
-			s.sendProtocolError(conn, c, msg)
+			h.enqueueProtocolError(msg)
 			return errors.New(msg)
 		}
-		start := time.Now()
-		sent, err := s.serveRequest(conn, c, dev, *f.Exec, start)
-		if sent {
-			s.lat.Observe(time.Since(start))
-			s.cResults.Inc()
-		}
-		if err != nil {
-			return err
+	}
+}
+
+// armIdleDeadline applies IdleTimeout to the next read, but only while no
+// request is in flight: devices idle between requests hold no platform
+// resources, and mid-request reads are guarded by the workers' own
+// code-wait timeouts instead.
+func (h *connHandler) armIdleDeadline() {
+	h.mu.Lock()
+	if h.inflight == 0 {
+		if d := h.s.opts.IdleTimeout; d > 0 {
+			h.conn.SetReadDeadline(time.Now().Add(d))
+		} else {
+			h.conn.SetReadDeadline(time.Time{})
 		}
 	}
+	h.mu.Unlock()
+}
+
+func (h *connHandler) beginRequest() {
+	h.mu.Lock()
+	h.inflight++
+	// Requests in flight: the decode loop must be free to block in Recv
+	// indefinitely (code pushes can legitimately arrive late).
+	h.conn.SetReadDeadline(time.Time{})
+	h.mu.Unlock()
+}
+
+// endRequest releases the worker's admission token. When the last
+// in-flight request drains it re-arms the idle deadline directly on the
+// conn — the decode loop may already be parked inside Recv with no
+// deadline, and a deadline set here fires through that blocked read.
+func (h *connHandler) endRequest() {
+	<-h.sem
+	h.mu.Lock()
+	h.inflight--
+	if h.inflight == 0 && h.s.opts.IdleTimeout > 0 {
+		h.conn.SetReadDeadline(time.Now().Add(h.s.opts.IdleTimeout))
+	}
+	h.mu.Unlock()
+}
+
+// writer is the connection's single sender. On the first send failure it
+// records the error, tears the connection down, and drains (discarding)
+// the rest of the queue so workers never block on a dead writer.
+func (h *connHandler) writer() {
+	defer close(h.writerDone)
+	broken := false
+	for m := range h.out {
+		if broken {
+			continue
+		}
+		if err := h.s.send(h.conn, h.c, m.frame); err != nil {
+			h.fail(err)
+			broken = true
+			continue
+		}
+		if !m.start.IsZero() {
+			h.s.lat.Observe(time.Since(m.start))
+			h.s.cResults.Inc()
+			if m.span != nil {
+				h.s.reg.ObserveSpan("server.stage.", m.span)
+			}
+		}
+		if m.fatal != "" {
+			h.fail(errors.New(m.fatal))
+			broken = true
+		}
+	}
+}
+
+// fail records the connection's first fatal error and closes the socket,
+// which unblocks the decode loop's pending read. Safe from any goroutine.
+func (h *connHandler) fail(err error) {
+	h.errOnce.Do(func() {
+		h.err = err
+		h.conn.Close()
+	})
+}
+
+func (h *connHandler) enqueueProtocolError(msg string) {
+	h.out <- outMsg{
+		frame: offload.Frame{Kind: offload.KindResult, Result: &offload.Result{
+			Err: msg, Code: offload.CodeProtocol,
+		}},
+		fatal: msg,
+	}
+}
+
+// routeCode hands a code push to the worker waiting for it: by Seq when
+// the push carries one that matches a waiter, else to the oldest waiter
+// (serial clients predate CodePush.Seq and leave it zero). Returns false
+// when no worker is waiting for code at all.
+func (h *connHandler) routeCode(push offload.CodePush) bool {
+	h.mu.Lock()
+	seq := push.Seq
+	ch, ok := h.codeWait[seq]
+	if !ok {
+		if len(h.codeFIFO) == 0 {
+			h.mu.Unlock()
+			return false
+		}
+		seq = h.codeFIFO[0]
+		ch = h.codeWait[seq]
+	}
+	delete(h.codeWait, seq)
+	h.dropCodeFIFO(seq)
+	h.mu.Unlock()
+	ch <- push // buffered; never blocks
+	return true
+}
+
+func (h *connHandler) dropCodeFIFO(seq int) {
+	for i, s := range h.codeFIFO {
+		if s == seq {
+			h.codeFIFO = append(h.codeFIFO[:i], h.codeFIFO[i+1:]...)
+			return
+		}
+	}
+}
+
+// awaitCode asks the device for the mobile code and waits for the push,
+// bounded by the per-read timeout, the request's remaining wall budget,
+// and the connection's life. The waiter is registered before NEED_CODE is
+// queued so the reply can never race past it.
+func (h *connHandler) awaitCode(seq int, aid string, start time.Time) (offload.CodePush, error) {
+	ch := make(chan offload.CodePush, 1)
+	h.mu.Lock()
+	if _, dup := h.codeWait[seq]; dup {
+		h.mu.Unlock()
+		return offload.CodePush{}, fmt.Errorf("realtime: duplicate in-flight seq %d awaiting code", seq)
+	}
+	h.codeWait[seq] = ch
+	h.codeFIFO = append(h.codeFIFO, seq)
+	h.mu.Unlock()
+	h.out <- outMsg{frame: offload.Frame{Kind: offload.KindNeedCode, NeedCode: &offload.NeedCode{Seq: seq, AID: aid}}}
+	timeout, err := h.s.requestRead(start)
+	if err != nil {
+		h.cancelCodeWait(seq)
+		return offload.CodePush{}, err
+	}
+	var timerC <-chan time.Time
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		timerC = timer.C
+	}
+	select {
+	case push := <-ch:
+		return push, nil
+	case <-timerC:
+		h.cancelCodeWait(seq)
+		return offload.CodePush{}, fmt.Errorf("realtime: timed out waiting for code push (seq %d)", seq)
+	case <-h.connDone:
+		h.cancelCodeWait(seq)
+		return offload.CodePush{}, errors.New("realtime: connection closed during code transfer")
+	}
+}
+
+func (h *connHandler) cancelCodeWait(seq int) {
+	h.mu.Lock()
+	delete(h.codeWait, seq)
+	h.dropCodeFIFO(seq)
+	h.mu.Unlock()
 }
 
 // requestRead caps an intra-request read by both the per-read timeout and
@@ -329,37 +604,36 @@ func errorResult(err error) offload.Result {
 	return res
 }
 
-// serveRequest runs one request through the platform and reports whether
-// a result frame was sent (the caller observes latency only then).
-// Engine-bound steps run as injected processes so runtime preparation and
-// execution consume real (paced) time; protocol I/O runs between them on
-// the connection's goroutine. When no code transfer is needed — the
-// warehouse-hit fast path — prepare, execute, and release are batched
-// into a single injected process, so the whole request costs one engine
-// interaction instead of four.
-func (s *Server) serveRequest(conn net.Conn, c *offload.Conn, dev string, req offload.ExecRequest, start time.Time) (sent bool, err error) {
-	req.DeviceID = dev
+// serveRequest runs one request through the platform on a worker
+// goroutine and queues its result for the writer. Engine-bound steps run
+// as injected processes so runtime preparation and execution consume real
+// (paced) time; protocol I/O happens through the decode loop and writer.
+// When no code transfer is needed — the warehouse-hit fast path —
+// prepare, execute, and release are batched into a single injected
+// process, so the whole request costs one engine interaction instead of
+// four. Request-fatal errors (code-exchange timeout, duplicate seq) tear
+// the connection down via fail, matching the serial server's behavior.
+func (h *connHandler) serveRequest(req offload.ExecRequest, start time.Time) {
+	s := h.s
+	req.DeviceID = h.dev
 	s.cRequests.Inc()
-	key := dedupKey(dev, req.AID, req.Seq)
+	key := dedupKey{dev: h.dev, aid: req.AID, seq: req.Seq}
 	if res, ok := s.dedup.lookup(key); ok {
 		// Idempotent retry: the result was computed on a previous attempt
 		// and the reply was lost. Answer from the window, don't re-execute.
 		s.cDedupHits.Inc()
-		return true, s.send(conn, c, offload.Frame{Kind: offload.KindResult, Result: &res})
+		h.out <- outMsg{frame: resultFrame(res), start: start}
+		return
 	}
 	// Attach a request-scoped span: the platform records its dispatcher,
 	// warehouse and runtime sub-stages (virtual time) into it, and the span
-	// is folded into server.stage.* histograms once the request completes.
-	// Only this handler goroutine and processes injected on its behalf
-	// (which the driver serializes, with happens-before on Do/Inject
-	// boundaries) touch the span, so no lock is needed.
+	// is folded into server.stage.* histograms once the result is sent.
+	// Only this worker and processes injected on its behalf touch the span
+	// (the driver serializes injected fns with happens-before on Do
+	// boundaries, and the channel send to the writer orders the final fold),
+	// so no lock is needed.
 	sp := obs.NewSpan()
 	req.SetSpan(sp)
-	defer func() {
-		if sent {
-			s.reg.ObserveSpan("server.stage.", sp)
-		}
-	}()
 	var (
 		sess    offload.Session
 		prepErr error
@@ -367,7 +641,7 @@ func (s *Server) serveRequest(conn net.Conn, c *offload.Conn, dev string, req of
 		execErr error
 		fast    bool
 	)
-	s.drv.Do("request:"+dev, func(p *sim.Proc) {
+	s.drv.Do("request:"+h.dev, func(p *sim.Proc) {
 		sess, prepErr = s.pl.Prepare(p, req)
 		if prepErr != nil || sess.NeedCode() {
 			return // code transfer needs protocol I/O; finish below
@@ -381,57 +655,46 @@ func (s *Server) serveRequest(conn net.Conn, c *offload.Conn, dev string, req of
 	})
 	if prepErr != nil {
 		r := errorResult(prepErr)
-		return true, s.send(conn, c, offload.Frame{Kind: offload.KindResult, Result: &r})
+		r.Seq = req.Seq
+		h.out <- outMsg{frame: resultFrame(r), start: start, span: sp}
+		return
 	}
 	if fast {
-		if execErr != nil {
-			res = errorResult(execErr)
-		} else {
-			s.dedup.store(key, res)
-		}
-		return true, s.send(conn, c, offload.Frame{Kind: offload.KindResult, Result: &res})
+		h.finishRequest(key, req.Seq, res, execErr, start, sp)
+		return
 	}
 
 	// Slow path: the device must transfer the mobile code first — either
 	// Prepare asked for it up front, or Execute re-claimed a push another
 	// device abandoned. Every early return releases the session, so a
 	// device that stalls mid-exchange cannot pin a runtime slot past the
-	// read deadline.
+	// code-wait timeout.
 	released := false
 	defer func() {
 		if !released {
-			s.drv.Do("release:"+dev, func(p *sim.Proc) { sess.Release() })
+			s.drv.Do("release:"+h.dev, func(p *sim.Proc) { sess.Release() })
 		}
 	}()
 
 	for {
-		if err := s.send(conn, c, offload.Frame{Kind: offload.KindNeedCode}); err != nil {
-			return false, err
-		}
-		timeout, err := s.requestRead(start)
+		push, err := h.awaitCode(req.Seq, req.AID, start)
 		if err != nil {
-			return false, err
-		}
-		codeFrame, err := s.recv(conn, c, timeout)
-		if err != nil {
-			return false, err
-		}
-		if codeFrame.Kind != offload.KindCode {
-			msg := fmt.Sprintf("realtime: expected code, got %s", codeFrame.Kind)
-			s.sendProtocolError(conn, c, msg)
-			return false, errors.New(msg)
+			h.fail(err)
+			return
 		}
 		var pushErr error
-		s.drv.Do("push:"+dev, func(p *sim.Proc) {
-			pushErr = sess.PushCode(p, *codeFrame.Code)
+		s.drv.Do("push:"+h.dev, func(p *sim.Proc) {
+			pushErr = sess.PushCode(p, push)
 		})
 		if pushErr != nil {
 			r := errorResult(pushErr)
-			return true, s.send(conn, c, offload.Frame{Kind: offload.KindResult, Result: &r})
+			r.Seq = req.Seq
+			h.out <- outMsg{frame: resultFrame(r), start: start, span: sp}
+			return
 		}
 
 		// Execute and release in one injected process.
-		s.drv.Do("exec:"+dev, func(p *sim.Proc) {
+		s.drv.Do("exec:"+h.dev, func(p *sim.Proc) {
 			res, execErr = sess.Execute(p)
 			if errors.Is(execErr, offload.ErrCodeNeeded) {
 				return
@@ -443,34 +706,54 @@ func (s *Server) serveRequest(conn net.Conn, c *offload.Conn, dev string, req of
 			break
 		}
 	}
-	if execErr != nil {
-		res = errorResult(execErr)
-	} else {
-		s.dedup.store(key, res)
-	}
-	return true, s.send(conn, c, offload.Frame{Kind: offload.KindResult, Result: &res})
+	h.finishRequest(key, req.Seq, res, execErr, start, sp)
 }
 
-// dedupKey identifies a request for the idempotency window.
-func dedupKey(dev, aid string, seq int) string {
-	return dev + "\x00" + aid + "\x00" + strconv.Itoa(seq)
+// finishRequest stores a successful result in the idempotency window and
+// queues the reply (typed error result on execErr) for the writer.
+func (h *connHandler) finishRequest(key dedupKey, seq int, res offload.Result, execErr error, start time.Time, sp *obs.Span) {
+	if execErr != nil {
+		res = errorResult(execErr)
+	}
+	res.Seq = seq
+	if execErr == nil {
+		h.s.dedup.store(key, res)
+	}
+	h.out <- outMsg{frame: resultFrame(res), start: start, span: sp}
+}
+
+func resultFrame(r offload.Result) offload.Frame {
+	return offload.Frame{Kind: offload.KindResult, Result: &r}
+}
+
+// dedupKey identifies a request for the idempotency window. A comparable
+// struct (not a concatenated string) so lookup and store never allocate.
+type dedupKey struct {
+	dev, aid string
+	seq      int
 }
 
 // dedupCache is a bounded map of completed results, FIFO-evicted. A nil
-// cache (DedupWindow < 0) is inert.
+// cache (DedupWindow < 0) is inert. The order ring is pre-sized to the
+// window capacity so store never grows it — both paths are zero-alloc
+// (gated by TestDedupZeroAlloc).
 type dedupCache struct {
 	mu    sync.Mutex
 	cap   int
-	res   map[string]offload.Result
-	order []string
+	res   map[dedupKey]offload.Result
+	order []dedupKey
 	head  int
 }
 
 func newDedupCache(capacity int) *dedupCache {
-	return &dedupCache{cap: capacity, res: make(map[string]offload.Result, capacity)}
+	return &dedupCache{
+		cap:   capacity,
+		res:   make(map[dedupKey]offload.Result, capacity),
+		order: make([]dedupKey, 0, capacity),
+	}
 }
 
-func (dc *dedupCache) lookup(key string) (offload.Result, bool) {
+func (dc *dedupCache) lookup(key dedupKey) (offload.Result, bool) {
 	if dc == nil {
 		return offload.Result{}, false
 	}
@@ -480,7 +763,7 @@ func (dc *dedupCache) lookup(key string) (offload.Result, bool) {
 	return r, ok
 }
 
-func (dc *dedupCache) store(key string, r offload.Result) {
+func (dc *dedupCache) store(key dedupKey, r offload.Result) {
 	if dc == nil {
 		return
 	}

@@ -31,19 +31,20 @@ func TestDedupCacheConcurrentEviction(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < keys; i++ {
-				key := fmt.Sprintf("dev%d/app/%d", w, i)
-				dc.store(key, offload.Result{Output: key})
+				key := dedupKey{dev: fmt.Sprintf("dev%d", w), aid: "app", seq: i}
+				want := fmt.Sprintf("dev%d/app/%d", w, i)
+				dc.store(key, offload.Result{Output: want})
 				// Immediate read-back may already be evicted by another
 				// writer — but if present it must carry our payload.
-				if r, ok := dc.lookup(key); ok && r.Output != key {
-					t.Errorf("lookup(%q) returned %q", key, r.Output)
+				if r, ok := dc.lookup(key); ok && r.Output != want {
+					t.Errorf("lookup(%v) returned %q", key, r.Output)
 					return
 				}
 				// Re-store an older key: the overwrite path must not grow
 				// the window past its capacity.
 				if i > 0 {
-					old := fmt.Sprintf("dev%d/app/%d", w, i-1)
-					dc.store(old, offload.Result{Output: old})
+					old := dedupKey{dev: key.dev, aid: "app", seq: i - 1}
+					dc.store(old, offload.Result{Output: fmt.Sprintf("dev%d/app/%d", w, i-1)})
 				}
 			}
 		}()
@@ -60,10 +61,10 @@ func TestDedupCacheConcurrentEviction(t *testing.T) {
 		key := dc.order[i]
 		r, ok := dc.res[key]
 		if !ok {
-			t.Fatalf("order entry %q missing from result map", key)
+			t.Fatalf("order entry %v missing from result map", key)
 		}
-		if r.Output != key {
-			t.Fatalf("entry %q holds foreign payload %q", key, r.Output)
+		if want := fmt.Sprintf("%s/%s/%d", key.dev, key.aid, key.seq); r.Output != want {
+			t.Fatalf("entry %v holds foreign payload %q", key, r.Output)
 		}
 		live++
 	}
