@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz bench bench-realtime bench-throughput bench-faults bench-stages ci clean
+.PHONY: all build vet test race fuzz lint bench bench-realtime bench-throughput bench-cluster bench-faults bench-stages ci clean
 
 all: ci
 
@@ -14,7 +14,22 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
+
+# Static checks: formatting, vet, and the lifecycle-encapsulation rule —
+# RuntimeInfo.State/Busy are written only by ContainerDB.Transition (in
+# db.go); every other non-test file may only read them.
+lint: vet
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	@bad=$$(grep -rn -E '\.(State|Busy) = ' --include='*.go' internal/ cmd/ \
+		| grep -v '_test.go' | grep -v '^internal/core/db\.go:' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "lifecycle state mutated outside internal/core/db.go:"; \
+		echo "$$bad"; exit 1; \
+	fi
 
 # Micro-benchmarks for the serving layer and dispatcher hot paths.
 bench:
@@ -33,6 +48,11 @@ bench-realtime:
 # sweep; the checked-in file is the CI regression baseline).
 bench-throughput:
 	$(GO) run ./cmd/rattrap-bench -throughput
+
+# Regenerates BENCH_cluster.json (sharded-gateway shards × devices sweep;
+# fails if 4 shards stop doubling 1-shard throughput at 32 devices).
+bench-cluster:
+	$(GO) run ./cmd/rattrap-bench -cluster
 
 # Regenerates BENCH_faults.json (fault-plan robustness sweep).
 bench-faults:

@@ -3,22 +3,16 @@
 # and the serving-layer micro-benchmarks, archived to bench.out.
 set -eu
 
-echo "== gofmt"
-unformatted=$(gofmt -l .)
-if [ -n "$unformatted" ]; then
-    echo "gofmt needed on:" >&2
-    echo "$unformatted" >&2
-    exit 1
-fi
-
-echo "== go vet"
-go vet ./...
+echo "== lint (gofmt + vet + lifecycle encapsulation)"
+make lint
 
 echo "== go build"
 go build ./...
 
 echo "== go test -race"
-go test -race ./...
+# The experiments package runs full paper sweeps; under the race detector
+# that legitimately exceeds go test's default 10-minute cap.
+go test -race -timeout 30m ./...
 
 echo "== fuzz smoke"
 go test -run '^$' -fuzz FuzzFrameCodec -fuzztime 10s ./internal/offload/
@@ -50,5 +44,16 @@ strip_measured() {
 strip_measured "$scratch/BENCH_throughput.json" > "$scratch/tp_a.json"
 strip_measured "$scratch/tp2/BENCH_throughput.json" > "$scratch/tp_b.json"
 diff "$scratch/tp_a.json" "$scratch/tp_b.json"
+
+echo "== cluster sweep (sharded gateway, short cells, double-run determinism)"
+go run ./cmd/rattrap-bench -cluster -short -out "$scratch"
+mkdir -p "$scratch/cl2"
+go run ./cmd/rattrap-bench -cluster -short -out "$scratch/cl2" > /dev/null
+strip_cluster_measured() {
+    grep -v -E '"(req_per_sec|p50_us|p99_us|cluster_speedup_x)":' "$1"
+}
+strip_cluster_measured "$scratch/BENCH_cluster.json" > "$scratch/cl_a.json"
+strip_cluster_measured "$scratch/cl2/BENCH_cluster.json" > "$scratch/cl_b.json"
+diff "$scratch/cl_a.json" "$scratch/cl_b.json"
 
 echo "== ok"

@@ -8,6 +8,7 @@
 //	rattrap-bench [-seed N] [-fig 1|2|3|9|10|11|obs4] [-table 1|2] [-out dir]
 //	rattrap-bench -realtime [-out dir] [-baseline BENCH_realtime.json]   # serving-layer latency comparison
 //	rattrap-bench -throughput [-short] [-out dir] [-baseline BENCH_throughput.json]   # pipelined data-plane sweep
+//	rattrap-bench -cluster [-short] [-out dir]   # sharded-gateway scaling sweep (shards x devices)
 //	rattrap-bench -faults [-seed N] [-out dir]   # fault-plan robustness sweep
 //	rattrap-bench -stages [-seed N] [-out dir]   # per-stage latency breakdown (deterministic)
 package main
@@ -29,7 +30,8 @@ func main() {
 	out := flag.String("out", "", "directory to also write .txt and .csv artifacts to")
 	rt := flag.Bool("realtime", false, "benchmark the realtime serving layer and write BENCH_realtime.json")
 	tp := flag.Bool("throughput", false, "sweep the pipelined data plane (devices x depth) and write BENCH_throughput.json")
-	short := flag.Bool("short", false, "with -throughput: run the reduced CI sweep (fewer cells and requests)")
+	clu := flag.Bool("cluster", false, "sweep the sharded gateway (shards x devices) and write BENCH_cluster.json")
+	short := flag.Bool("short", false, "with -throughput or -cluster: run the reduced CI sweep (fewer cells and requests)")
 	baseline := flag.String("baseline", "", "with -realtime or -throughput: fail on regression vs this baseline report (>3x p50; with -throughput also <0.5x req/s)")
 	flt := flag.Bool("faults", false, "sweep the standard fault plans and write BENCH_faults.json")
 	stages := flag.Bool("stages", false, "emit the per-stage latency breakdown as BENCH_stages.json")
@@ -53,6 +55,14 @@ func main() {
 	if *tp {
 		if err := runThroughputBench(*out, *baseline, *short); err != nil {
 			fmt.Fprintf(os.Stderr, "rattrap-bench: throughput: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *clu {
+		if err := runClusterBench(*out, *short); err != nil {
+			fmt.Fprintf(os.Stderr, "rattrap-bench: cluster: %v\n", err)
 			os.Exit(1)
 		}
 		return

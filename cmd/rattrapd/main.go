@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	rattrapd [-listen :7431] [-platform rattrap|rattrap-wo|vm] [-speed 1] [-max-runtimes 5] [-http :7432] [-pipeline-depth 8]
+//	rattrapd [-listen :7431] [-platform rattrap|rattrap-wo|vm] [-speed 1] [-max-runtimes 5] [-http :7432] [-pipeline-depth 8] [-shards 4]
 package main
 
 import (
@@ -33,6 +33,7 @@ func main() {
 	maxRuntimes := flag.Int("max-runtimes", 5, "runtime pool cap")
 	httpAddr := flag.String("http", "", "observability listen address (/metrics, /debug/pprof); empty disables")
 	pipelineDepth := flag.Int("pipeline-depth", 1, "exec requests one connection may have in flight (1 = serial)")
+	shards := flag.Int("shards", 1, "platform shards; apps are consistent-hashed across shards by AID")
 	flag.Parse()
 
 	var kind core.Kind
@@ -51,7 +52,10 @@ func main() {
 	cfg := core.DefaultConfig(kind)
 	cfg.MaxRuntimes = *maxRuntimes
 	logger := log.New(os.Stderr, "rattrapd: ", log.LstdFlags)
-	srv := realtime.NewServerOpts(cfg, *speed, logger, realtime.Options{PipelineDepth: *pipelineDepth})
+	srv := realtime.NewServerOpts(cfg, *speed, logger, realtime.Options{
+		PipelineDepth: *pipelineDepth,
+		Shards:        *shards,
+	})
 	defer srv.Close()
 
 	if *httpAddr != "" {
@@ -78,8 +82,8 @@ func main() {
 	if err != nil {
 		logger.Fatal(err)
 	}
-	logger.Printf("%s platform listening on %s (speed %.1fx, pool %d)",
-		kind, ln.Addr(), *speed, *maxRuntimes)
+	logger.Printf("%s platform listening on %s (speed %.1fx, pool %d, shards %d)",
+		kind, ln.Addr(), *speed, *maxRuntimes, srv.Shards())
 	if err := srv.Serve(ln); err != nil {
 		logger.Fatal(err)
 	}

@@ -1,0 +1,157 @@
+// Package cluster scales Rattrap horizontally: a Cluster is N core.Platform
+// shards behind one offload.Gateway, with AIDs consistent-hashed across the
+// shards. Routing by AID — not by device — preserves the paper's App
+// Warehouse story at cluster scale: every request for an app lands on the
+// one shard whose warehouse holds (or will hold) that app's code, so the
+// cache-hit rate of a shard equals the cache-hit rate the paper measured
+// for a single server. Nothing is shared between shards: each has its own
+// server, kernel, runtime pool, warehouse, and admission bounds, which is
+// what makes the design replicate — a shard is exactly the single-node
+// platform of §IV, unmodified.
+//
+// A Cluster runs all shards on one sim.Engine, so results in virtual time
+// are bit-deterministic per seed, and a 1-shard Cluster is byte-identical
+// to a bare Platform (pinned by the experiments goldens). The realtime
+// serving layer shards differently — one engine and pacing driver per
+// shard, for wall-clock parallelism — but routes with this package's Ring,
+// so placement agrees between the two modes.
+package cluster
+
+import (
+	"fmt"
+
+	"rattrap/internal/core"
+	"rattrap/internal/obs"
+	"rattrap/internal/offload"
+	"rattrap/internal/sim"
+)
+
+// ShardError tags a platform error with the shard that produced it. It
+// wraps rather than flattens: errors.As still finds the shard's
+// offload.OverloadedError (whose RetryAfter hint reflects that shard's own
+// queue and hold-time EWMA), and errors.Is still matches core.ErrBlocked.
+type ShardError struct {
+	Shard int
+	Err   error
+}
+
+func (e *ShardError) Error() string { return fmt.Sprintf("shard %d: %v", e.Shard, e.Err) }
+
+// Unwrap exposes the shard's error to errors.Is / errors.As.
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// ShardPrefix is the per-shard instrument/CID label convention shared by
+// the sim Cluster and the realtime serving layer.
+func ShardPrefix(i int) string { return fmt.Sprintf("shard%d.", i) }
+
+// CIDPrefix is the per-shard runtime-ID prefix ("s2-cac-1").
+func CIDPrefix(i int) string { return fmt.Sprintf("s%d-", i) }
+
+// Cluster implements offload.Gateway over N Platform shards on one engine.
+type Cluster struct {
+	shards []*core.Platform
+	ring   *Ring
+}
+
+// New builds an n-shard cluster on engine e. Every shard gets an identical
+// copy of cfg; with n > 1 each shard's CIDs are prefixed "sN-" so runtime
+// IDs are unique cluster-wide. With n == 1 the configuration is left
+// untouched — a 1-shard Cluster must be indistinguishable from the bare
+// Platform it wraps.
+func New(e *sim.Engine, cfg core.Config, n int) *Cluster {
+	if n < 1 {
+		n = 1
+	}
+	c := &Cluster{ring: NewRing(n, 0)}
+	for i := 0; i < n; i++ {
+		scfg := cfg
+		if n > 1 {
+			scfg.CIDPrefix = CIDPrefix(i)
+		}
+		c.shards = append(c.shards, core.New(e, scfg))
+	}
+	return c
+}
+
+// Shards returns the shard count.
+func (c *Cluster) Shards() int { return len(c.shards) }
+
+// Shard returns shard i's platform.
+func (c *Cluster) Shard(i int) *core.Platform { return c.shards[i] }
+
+// Owner returns the shard index owning aid.
+func (c *Cluster) Owner(aid string) int { return c.ring.Owner(aid) }
+
+// SetObs installs one registry across all shards. With multiple shards,
+// every instrument is prefixed "shardN." so one scrape separates them; a
+// 1-shard cluster keeps the platform's plain instrument names.
+func (c *Cluster) SetObs(reg *obs.Registry) {
+	for i, pl := range c.shards {
+		if len(c.shards) > 1 {
+			pl.SetObsPrefixed(reg, ShardPrefix(i))
+		} else {
+			pl.SetObs(reg)
+		}
+	}
+}
+
+// Prepare implements offload.Gateway: route the request to the shard
+// owning its AID. Errors come back wrapped in *ShardError (unwrapped
+// typed errors intact); the returned session wraps the shard's session
+// the same way.
+func (c *Cluster) Prepare(p *sim.Proc, req offload.ExecRequest) (offload.Session, error) {
+	shard := c.ring.Owner(req.AID)
+	sess, err := c.shards[shard].Prepare(p, req)
+	if err != nil {
+		return nil, &ShardError{Shard: shard, Err: err}
+	}
+	return &shardSession{Session: sess, shard: shard}, nil
+}
+
+// Runtimes merges every shard's Container DB listing, shard 0 first. The
+// records are copies (ContainerDB.List semantics) and CIDs are unique
+// cluster-wide thanks to the per-shard prefix.
+func (c *Cluster) Runtimes() []*core.RuntimeInfo {
+	var out []*core.RuntimeInfo
+	for _, pl := range c.shards {
+		out = append(out, pl.DB().List()...)
+	}
+	return out
+}
+
+// WarehouseStats sums entries and hits across shards (Rattrap kinds only;
+// zero for baselines).
+func (c *Cluster) WarehouseStats() (entries, hits int) {
+	for _, pl := range c.shards {
+		if wh := pl.Warehouse(); wh != nil {
+			e, h, _ := wh.Stats()
+			entries += e
+			hits += h
+		}
+	}
+	return entries, hits
+}
+
+// shardSession tags session-level errors with the owning shard.
+type shardSession struct {
+	offload.Session
+	shard int
+}
+
+func (s *shardSession) PushCode(p *sim.Proc, push offload.CodePush) error {
+	if err := s.Session.PushCode(p, push); err != nil {
+		return &ShardError{Shard: s.shard, Err: err}
+	}
+	return nil
+}
+
+func (s *shardSession) Execute(p *sim.Proc) (offload.Result, error) {
+	res, err := s.Session.Execute(p)
+	if err != nil {
+		// ErrCodeNeeded is part of the Gateway protocol (callers test for
+		// it with errors.Is); wrapping keeps that working while naming the
+		// shard in the flattened message.
+		return res, &ShardError{Shard: s.shard, Err: err}
+	}
+	return res, nil
+}

@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Ring consistent-hashes AIDs onto shards. Each shard owns vnodes points
+// on a 32-bit FNV-1a circle; an AID belongs to the shard owning the first
+// point clockwise of its hash. Placement depends only on (shards, vnodes,
+// aid), never on request order, so routing is deterministic across runs
+// and processes — and adding a shard moves only ~1/n of the AIDs, which is
+// the property that lets a future rebalancer keep most warehouse entries
+// where they are.
+type Ring struct {
+	shards int
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash  uint32
+	shard int
+}
+
+// DefaultVnodes spreads each shard over enough points that shard loads
+// stay within a few percent of even for realistic AID counts.
+const DefaultVnodes = 128
+
+// NewRing builds a ring of n shards (n >= 1) with vnodes points each.
+// vnodes <= 0 selects DefaultVnodes.
+func NewRing(n, vnodes int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	r := &Ring{shards: n, points: make([]ringPoint, 0, n*vnodes)}
+	var buf [16]byte
+	for s := 0; s < n; s++ {
+		for v := 0; v < vnodes; v++ {
+			key := appendUint(appendUint(buf[:0], uint32(s)), uint32(v))
+			r.points = append(r.points, ringPoint{hash: hash32(key), shard: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return a.shard < b.shard // total order: ties can't flap between builds
+	})
+	return r
+}
+
+// Shards returns the shard count.
+func (r *Ring) Shards() int { return r.shards }
+
+// Owner returns the shard owning aid.
+func (r *Ring) Owner(aid string) int {
+	if r.shards == 1 {
+		return 0
+	}
+	h := hashString32(aid)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap past the highest point
+	}
+	return r.points[i].shard
+}
+
+func hash32(b []byte) uint32 {
+	h := fnv.New32a()
+	h.Write(b)
+	return fmix32(h.Sum32())
+}
+
+func hashString32(s string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(s))
+	return fmix32(h.Sum32())
+}
+
+// fmix32 is the murmur3 avalanche finalizer. Raw FNV-1a keeps
+// similar keys correlated — AIDs sharing a prefix and differing in a
+// trailing byte land within a few multiples of the FNV prime of each
+// other, bunching a whole app family into one narrow arc of the circle
+// (and one shard). The finalizer flips ~half the output bits per input
+// bit, so such families spread evenly.
+func fmix32(h uint32) uint32 {
+	h ^= h >> 16
+	h *= 0x85ebca6b
+	h ^= h >> 13
+	h *= 0xc2b2ae35
+	h ^= h >> 16
+	return h
+}
+
+func appendUint(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}

@@ -83,11 +83,26 @@ type Config struct {
 	// hint) instead of queueing unboundedly. 0 keeps the historical
 	// unbounded behaviour.
 	MaxQueueDepth int
+	// Scheduler selects the Dispatcher's slot-selection policy. The zero
+	// value is SchedAffinity, the paper's warehouse-aware dispatch, for
+	// every platform kind.
+	Scheduler SchedulerPolicy
+	// CIDPrefix, when set, prefixes every runtime CID this platform mints
+	// (cluster shards use "sN-" so runtime IDs stay unique cluster-wide).
+	CIDPrefix string
 }
 
-// DefaultConfig mirrors the paper's experimental setup.
+// DefaultConfig mirrors the paper's experimental setup. The baselines
+// dispatch FIFO: without an App Warehouse there is no cache-hit story, so
+// warehouse-aware dispatch buys them nothing (each runtime still remembers
+// codes its own ClassLoader loaded, but the paper's baselines do not
+// route on that).
 func DefaultConfig(kind Kind) Config {
-	return Config{Kind: kind, MaxRuntimes: 5, ViolationThreshold: 3, KernelRelease: "3.18.0"}
+	cfg := Config{Kind: kind, MaxRuntimes: 5, ViolationThreshold: 3, KernelRelease: "3.18.0"}
+	if kind != KindRattrap {
+		cfg.Scheduler = SchedFIFO
+	}
+	return cfg
 }
 
 // Memory limits from Table I.
@@ -124,14 +139,12 @@ type Platform struct {
 	offloadIO   *unionfs.Mount // Rattrap: shared in-memory offloading I/O
 
 	// Dispatcher state (see dispatch.go): the pool in boot order, a CID
-	// index, the idle free-list, the AID-affinity index, and the FIFO
-	// wait queue.
-	slots    slotList
-	byID     map[string]*slot
-	idle     slotHeap
-	affinity map[string]*slotHeap
-	waitQ    waiterRing
-	nextID   int
+	// index, the slot-selection policy, and the FIFO wait queue.
+	slots  slotList
+	byID   map[string]*slot
+	sched  Scheduler
+	waitQ  waiterRing
+	nextID int
 
 	// holdEWMA tracks how long slots stay claimed (acquire → release); it
 	// feeds the overload rejection's retry-after hint.
@@ -147,6 +160,9 @@ type Platform struct {
 	om *platformMetrics
 }
 
+// slot is the Dispatcher's handle on one runtime. Its lifecycle position
+// lives in info.State, owned by the ContainerDB; the slot carries only
+// scheduling bookkeeping.
 type slot struct {
 	id    string
 	seq   int // boot order; dispatch ties break toward the oldest runtime
@@ -154,15 +170,14 @@ type slot struct {
 	rt    *android.Runtime
 	ctr   *container.Container
 	vmach *vm.VM
-	busy  bool
 	info  *RuntimeInfo
 
 	acquiredAt sim.Time // when the current claim started (hold-time EWMA)
 
 	prev, next *slot           // pl.slots linkage
-	removed    bool            // unlinked from the pool; heap entries are stale
-	inIdle     bool            // has a live entry in pl.idle
-	inAff      map[string]bool // AIDs with a live entry in pl.affinity
+	removed    bool            // unlinked from the pool; index entries are stale
+	inIdle     bool            // has a live entry in the scheduler's idle heap
+	inAff      map[string]bool // AIDs with a live entry in the affinity index
 }
 
 type waiter struct {
@@ -189,7 +204,7 @@ func New(e *sim.Engine, cfg Config) *Platform {
 		access:       NewAccessController(cfg.ViolationThreshold),
 		fullManifest: image.AndroidX86(),
 		byID:         make(map[string]*slot),
-		affinity:     make(map[string]*slotHeap),
+		sched:        newScheduler(cfg.Scheduler),
 	}
 	pl.contManifest = pl.fullManifest.ForContainer()
 	pl.custManifest = pl.fullManifest.Customized()
@@ -240,29 +255,36 @@ func (pl *Platform) Registry() *workload.Registry { return pl.reg }
 func (pl *Platform) SetBootFault(fn func(p *sim.Proc, id string) error) { pl.bootFault = fn }
 
 // BootRuntime boots one runtime outside the request path (pool pre-warm
-// and Table I measurements).
+// and Table I measurements). The fresh runtime goes straight to the idle
+// pool; the returned record is a copy (the live one belongs to the DB).
 func (pl *Platform) BootRuntime(p *sim.Proc) (*RuntimeInfo, error) {
 	sl, err := pl.bootSlot(p)
 	if err != nil {
 		return nil, err
 	}
-	sl.busy = false
-	sl.info.Busy = false
-	pl.enqueueIdle(sl)
-	return sl.info, nil
+	pl.db.Transition(sl.id, LifecycleIdle)
+	pl.sched.Offer(sl)
+	return sl.info.clone(), nil
 }
 
 // bootSlot creates, boots, and registers a new runtime; the slot is
-// returned busy (reserved for the caller).
+// returned LifecycleActive (reserved for the caller). The DB record is
+// created provisionally before provisioning starts — cold, then booting —
+// so the lifecycle census covers in-flight boots; a failed boot walks
+// booting → reclaimed and leaves the DB.
 func (pl *Platform) bootSlot(p *sim.Proc) (*slot, error) {
 	pl.nextID++
-	id := fmt.Sprintf("%s-%d", kindSlug(pl.cfg.Kind), pl.nextID)
-	sl := &slot{id: id, seq: pl.nextID, busy: true, inAff: make(map[string]bool), acquiredAt: pl.E.Now()}
+	id := fmt.Sprintf("%s%s-%d", pl.cfg.CIDPrefix, kindSlug(pl.cfg.Kind), pl.nextID)
+	sl := &slot{id: id, seq: pl.nextID, inAff: make(map[string]bool), acquiredAt: pl.E.Now()}
+	sl.info = &RuntimeInfo{CID: id, Kind: pl.cfg.Kind} // born LifecycleCold
 	pl.slots.pushBack(sl)
 	pl.byID[id] = sl
+	pl.db.Put(sl.info)
+	pl.db.Transition(id, LifecycleBooting)
 	start := pl.E.Now()
 
 	fail := func(err error) (*slot, error) {
+		pl.db.Transition(id, LifecycleReclaimed)
 		pl.removeSlot(sl)
 		if pl.om != nil {
 			pl.om.bootFails.Inc()
@@ -335,18 +357,13 @@ func (pl *Platform) bootSlot(p *sim.Proc) (*slot, error) {
 	// Register with the Dispatcher.
 	p.Sleep(dispatcherConnect)
 
-	sl.info = &RuntimeInfo{
-		CID:       sl.id,
-		Kind:      pl.cfg.Kind,
-		BootedAt:  pl.E.Now(),
-		BootTime:  (pl.E.Now() - start).Duration(),
-		MemMB:     pl.slotMemMB(sl),
-		DiskBytes: pl.slotDiskBytes(sl),
-		Processes: len(sl.rt.Processes()),
-		Busy:      true,
-		LastUsed:  pl.E.Now(),
-	}
-	pl.db.Put(sl.info)
+	sl.info.BootedAt = pl.E.Now()
+	sl.info.BootTime = (pl.E.Now() - start).Duration()
+	sl.info.MemMB = pl.slotMemMB(sl)
+	sl.info.DiskBytes = pl.slotDiskBytes(sl)
+	sl.info.Processes = len(sl.rt.Processes())
+	sl.info.LastUsed = pl.E.Now()
+	pl.db.Transition(sl.id, LifecycleActive) // reserved for the caller
 	if pl.om != nil {
 		pl.om.boots.Inc()
 		pl.om.bootTime.Observe(sl.info.BootTime)
@@ -398,9 +415,7 @@ func (pl *Platform) removeSlot(sl *slot) {
 	sl.removed = true
 	pl.slots.remove(sl)
 	delete(pl.byID, sl.id)
-	if sl.info != nil {
-		pl.db.Remove(sl.id)
-	}
+	pl.db.Remove(sl.id)
 	if pl.om != nil {
 		pl.om.poolSize.Set(int64(pl.slots.n))
 	}
@@ -618,9 +633,10 @@ func (pl *Platform) StopRuntime(p *sim.Proc, cid string) error {
 	if sl == nil {
 		return fmt.Errorf("core: no runtime %s", cid)
 	}
-	if sl.busy {
-		return fmt.Errorf("core: runtime %s is busy", cid)
+	if st := sl.info.State; st != LifecycleIdle {
+		return fmt.Errorf("core: runtime %s is %s", cid, st)
 	}
+	pl.db.Transition(cid, LifecycleDraining)
 	sl.rt.Shutdown()
 	switch {
 	case sl.vmach != nil:
@@ -635,6 +651,7 @@ func (pl *Platform) StopRuntime(p *sim.Proc, cid string) error {
 	if pl.warehouse != nil {
 		pl.warehouse.UnbindCID(sl.id)
 	}
+	pl.db.Transition(cid, LifecycleReclaimed)
 	pl.removeSlot(sl)
 	if pl.cfg.Kind != KindVM && pl.slots.n == 0 {
 		_ = acd.UnloadAll(pl.Kernel) // best effort; fails only if still referenced

@@ -26,8 +26,8 @@ func TestStopRuntimeErrors(t *testing.T) {
 			t.Fatal(err)
 		}
 		cid := pl.DB().List()[0].CID
-		if err := pl.StopRuntime(p, cid); err == nil || !strings.Contains(err.Error(), "busy") {
-			t.Errorf("stopping a busy runtime: err = %v", err)
+		if err := pl.StopRuntime(p, cid); err == nil || !strings.Contains(err.Error(), "is active") {
+			t.Errorf("stopping a claimed runtime: err = %v", err)
 		}
 		s.Release()
 		if err := pl.StopRuntime(p, cid); err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
@@ -8,6 +9,87 @@ import (
 	"rattrap/internal/offload"
 	"rattrap/internal/sim"
 )
+
+// Lifecycle is a runtime's position in the Monitor & Scheduler's state
+// machine. Every runtime the platform ever creates walks a path through
+//
+//	cold → booting → idle ⇄ active
+//	                  idle → draining → reclaimed
+//
+// with two extra legal edges: booting → active (a request-path boot hands
+// the fresh runtime straight to the request that triggered it) and
+// booting → reclaimed (a failed boot). The zero value is LifecycleCold so
+// a freshly constructed RuntimeInfo is born in the right state without
+// naming it.
+type Lifecycle int
+
+// The lifecycle states, in path order.
+const (
+	// LifecycleCold: the record exists, nothing is provisioned yet.
+	LifecycleCold Lifecycle = iota
+	// LifecycleBooting: image/container/VM provisioning plus Android boot
+	// and the Dispatcher registration handshake.
+	LifecycleBooting
+	// LifecycleIdle: registered with the Dispatcher and waiting for work;
+	// the only state a runtime may be claimed or reclaimed from.
+	LifecycleIdle
+	// LifecycleActive: claimed by exactly one request (or handed directly
+	// to the next queued request on release).
+	LifecycleActive
+	// LifecycleDraining: teardown in progress; unschedulable.
+	LifecycleDraining
+	// LifecycleReclaimed: resources returned to the server; the record is
+	// removed from the DB immediately after entering this state.
+	LifecycleReclaimed
+
+	numLifecycleStates = int(LifecycleReclaimed) + 1
+)
+
+func (s Lifecycle) String() string {
+	switch s {
+	case LifecycleCold:
+		return "cold"
+	case LifecycleBooting:
+		return "booting"
+	case LifecycleIdle:
+		return "idle"
+	case LifecycleActive:
+		return "active"
+	case LifecycleDraining:
+		return "draining"
+	case LifecycleReclaimed:
+		return "reclaimed"
+	}
+	return fmt.Sprintf("Lifecycle(%d)", int(s))
+}
+
+// LifecycleStates lists the states in path order (iteration in tests and
+// metric registration).
+func LifecycleStates() []Lifecycle {
+	return []Lifecycle{LifecycleCold, LifecycleBooting, LifecycleIdle,
+		LifecycleActive, LifecycleDraining, LifecycleReclaimed}
+}
+
+// lifecycleEdges is the legal transition relation. Anything not listed
+// here is a platform bug, and Transition panics on it rather than let the
+// pool bookkeeping drift.
+var lifecycleEdges = map[Lifecycle][]Lifecycle{
+	LifecycleCold:     {LifecycleBooting},
+	LifecycleBooting:  {LifecycleIdle, LifecycleActive, LifecycleReclaimed},
+	LifecycleIdle:     {LifecycleActive, LifecycleDraining},
+	LifecycleActive:   {LifecycleIdle},
+	LifecycleDraining: {LifecycleReclaimed},
+}
+
+// LegalTransition reports whether from → to is a legal lifecycle edge.
+func LegalTransition(from, to Lifecycle) bool {
+	for _, t := range lifecycleEdges[from] {
+		if t == to {
+			return true
+		}
+	}
+	return false
+}
 
 // RuntimeInfo is one Container DB record: the platform's bookkeeping for a
 // code runtime environment, the basis of resource management and of the
@@ -23,14 +105,32 @@ type RuntimeInfo struct {
 	Busy      bool
 	LastUsed  sim.Time
 	Processes int
+	// State is the runtime's lifecycle position. It is mutated exclusively
+	// by ContainerDB.Transition (enforced by `make lint`); everything else
+	// only reads it.
+	State Lifecycle
 	// Traffic is the migrated data this runtime received/sent, by kind —
 	// the per-VM composition of Figure 3.
 	Traffic offload.Traffic
 }
 
-// ContainerDB stores information about live runtimes.
+// clone returns an independent copy of the record.
+func (r *RuntimeInfo) clone() *RuntimeInfo {
+	c := *r
+	return &c
+}
+
+// ContainerDB stores information about live runtimes and owns their
+// lifecycle state: every state change flows through Transition, the single
+// choke point that validates edges and notifies the observability hook.
 type ContainerDB struct {
-	rows map[string]*RuntimeInfo
+	rows   map[string]*RuntimeInfo
+	states [numLifecycleStates]int // live-record census by state
+	// onTransition observes every edge taken (from, to); onRemove observes
+	// a record leaving the DB in its final state. Set by the platform's
+	// SetObs; nil when observability is off.
+	onTransition func(from, to Lifecycle)
+	onRemove     func(last Lifecycle)
 }
 
 // NewContainerDB returns an empty database.
@@ -38,23 +138,76 @@ func NewContainerDB() *ContainerDB {
 	return &ContainerDB{rows: make(map[string]*RuntimeInfo)}
 }
 
-// Put inserts or replaces a record.
-func (db *ContainerDB) Put(info *RuntimeInfo) { db.rows[info.CID] = info }
+// SetLifecycleHooks installs the observability callbacks fired on every
+// transition and on record removal. Either may be nil.
+func (db *ContainerDB) SetLifecycleHooks(onTransition func(from, to Lifecycle), onRemove func(last Lifecycle)) {
+	db.onTransition = onTransition
+	db.onRemove = onRemove
+}
 
-// Get returns a record by CID.
+// Put inserts or replaces a record. The record's current state joins the
+// census; new records are expected to be born LifecycleCold.
+func (db *ContainerDB) Put(info *RuntimeInfo) {
+	if old, ok := db.rows[info.CID]; ok {
+		db.states[old.State]--
+	}
+	db.rows[info.CID] = info
+	db.states[info.State]++
+}
+
+// Transition moves the runtime to a new lifecycle state. It is the only
+// place in the codebase that writes RuntimeInfo.State (or Busy, which is
+// derived from it); an illegal edge is a platform bug and panics.
+func (db *ContainerDB) Transition(cid string, to Lifecycle) {
+	info, ok := db.rows[cid]
+	if !ok {
+		panic(fmt.Sprintf("core: lifecycle transition to %s for unknown runtime %s", to, cid))
+	}
+	from := info.State
+	if !LegalTransition(from, to) {
+		panic(fmt.Sprintf("core: illegal lifecycle transition %s -> %s for runtime %s", from, to, cid))
+	}
+	info.State = to
+	info.Busy = to == LifecycleActive
+	db.states[from]--
+	db.states[to]++
+	if db.onTransition != nil {
+		db.onTransition(from, to)
+	}
+}
+
+// Get returns a copy of the record by CID. The DB's own records are live
+// platform state; handing out copies keeps callers from mutating pool
+// bookkeeping (and from observing it mid-request).
 func (db *ContainerDB) Get(cid string) (*RuntimeInfo, bool) {
 	r, ok := db.rows[cid]
-	return r, ok
+	if !ok {
+		return nil, false
+	}
+	return r.clone(), true
 }
 
 // Remove deletes a record.
-func (db *ContainerDB) Remove(cid string) { delete(db.rows, cid) }
+func (db *ContainerDB) Remove(cid string) {
+	info, ok := db.rows[cid]
+	if !ok {
+		return
+	}
+	db.states[info.State]--
+	delete(db.rows, cid)
+	if db.onRemove != nil {
+		db.onRemove(info.State)
+	}
+}
 
-// List returns all records sorted by CID for deterministic iteration.
+// List returns copies of all records sorted by CID for deterministic
+// iteration. The copies do not alias live platform state: mutating them
+// (or the platform executing more requests) leaves the returned slice
+// untouched.
 func (db *ContainerDB) List() []*RuntimeInfo {
 	out := make([]*RuntimeInfo, 0, len(db.rows))
 	for _, r := range db.rows {
-		out = append(out, r)
+		out = append(out, r.clone())
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].CID < out[j].CID })
 	return out
@@ -62,6 +215,14 @@ func (db *ContainerDB) List() []*RuntimeInfo {
 
 // Count returns the number of live runtimes.
 func (db *ContainerDB) Count() int { return len(db.rows) }
+
+// StateCount returns how many live records are in the given state.
+func (db *ContainerDB) StateCount(s Lifecycle) int {
+	if s < 0 || int(s) >= numLifecycleStates {
+		return 0
+	}
+	return db.states[s]
+}
 
 // Snapshot is the Monitor's view of the platform for schedulers and the
 // harness.
@@ -71,15 +232,19 @@ type Snapshot struct {
 	TotalDisk    host.Bytes
 	TotalExec    int
 	BusyRuntimes int
+	// States is the lifecycle census of the live records at snapshot time.
+	States map[Lifecycle]int
 }
 
-// Snapshot aggregates the database.
+// Snapshot aggregates the database. Like List, the returned records are
+// copies.
 func (db *ContainerDB) Snapshot() Snapshot {
-	s := Snapshot{Runtimes: db.List()}
+	s := Snapshot{Runtimes: db.List(), States: make(map[Lifecycle]int)}
 	for _, r := range s.Runtimes {
 		s.TotalMemMB += r.MemMB
 		s.TotalDisk += r.DiskBytes
 		s.TotalExec += r.Executed
+		s.States[r.State]++
 		if r.Busy {
 			s.BusyRuntimes++
 		}

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"errors"
 	"time"
 
@@ -12,25 +11,18 @@ import (
 
 // This file holds the Dispatcher's allocation machinery. The policy is
 // unchanged from the paper (§IV-B): warehouse-affinity first, then any
-// idle runtime, then boot up to MaxRuntimes, then FIFO queueing — but the
-// implementation is indexed instead of scanned:
+// idle runtime, then boot up to MaxRuntimes, then FIFO queueing. The
+// *selection* half (which idle runtime serves which app) lives behind the
+// Scheduler interface (scheduler.go); this file keeps the capacity half:
 //
-//   - pl.idle is a free-list of idle slots, a min-heap keyed by boot
-//     sequence so the pick is identical to the old in-order scan;
-//   - pl.affinity maps AID → min-heap of idle slots whose ClassLoader
-//     already holds that code (the cache table's AID→CID column, turned
-//     into a dispatch index);
 //   - pl.waitQ is a ring buffer, FIFO without the O(n) re-slicing;
 //   - pl.slots is an intrusive doubly-linked list in boot order plus a
-//     CID map, making removeSlot and StopRuntime lookups O(1).
+//     CID map, making removeSlot and StopRuntime lookups O(1);
+//   - bounded admission and the hold-time EWMA feeding retry-after hints.
 //
-// Heap entries are invalidated lazily: claiming a slot leaves its entries
-// in the other heaps, and pops discard entries whose slot is busy,
-// removed, or (for affinity) no longer holds the code. The inIdle/inAff
-// flags guarantee at most one live entry per slot per heap, so heap sizes
-// stay O(slots × loaded codes). Virtual-time behaviour is bit-identical
-// to the scanning dispatcher: both pick the minimum-boot-order eligible
-// slot, and the experiment harness is the oracle for that.
+// Virtual-time behaviour is bit-identical to the original scanning
+// dispatcher: both pick the minimum-boot-order eligible slot, and the
+// experiment harness is the oracle for that.
 
 // slotList is the platform's runtime pool in boot order.
 type slotList struct {
@@ -121,79 +113,18 @@ func (r *waiterRing) pop() *waiter {
 
 func (r *waiterRing) len() int { return r.n }
 
-// enqueueIdle indexes an idle slot: into the free-list and into the
-// affinity heap of every code its runtime holds. Flags dedupe entries —
-// a stale entry left by a lazy pop "revives" when the slot goes idle
-// again, which is exactly the state it advertises.
-func (pl *Platform) enqueueIdle(sl *slot) {
-	if !sl.inIdle {
-		sl.inIdle = true
-		heap.Push(&pl.idle, sl)
-	}
-	for _, aid := range sl.rt.LoadedCodes() {
-		if !sl.inAff[aid] {
-			sl.inAff[aid] = true
-			h := pl.affinity[aid]
-			if h == nil {
-				h = &slotHeap{}
-				pl.affinity[aid] = h
-			}
-			heap.Push(h, sl)
-		}
-	}
-}
-
-// popAffinity claims the earliest-booted idle slot that already holds
-// aid, or nil.
-func (pl *Platform) popAffinity(aid string) *slot {
-	h, ok := pl.affinity[aid]
-	if !ok {
-		return nil
-	}
-	for h.Len() > 0 {
-		sl := heap.Pop(h).(*slot)
-		sl.inAff[aid] = false
-		if sl.removed || sl.busy || !sl.rt.CodeLoaded(aid) {
-			continue // stale entry; discard
-		}
-		if h.Len() == 0 {
-			delete(pl.affinity, aid)
-		}
-		return sl
-	}
-	delete(pl.affinity, aid)
-	return nil
-}
-
-// popIdle claims the earliest-booted idle slot, or nil.
-func (pl *Platform) popIdle() *slot {
-	for pl.idle.Len() > 0 {
-		sl := heap.Pop(&pl.idle).(*slot)
-		sl.inIdle = false
-		if sl.removed || sl.busy {
-			continue
-		}
-		return sl
-	}
-	return nil
-}
-
 // acquireSlot implements the Dispatcher's allocation policy. sp, when
 // non-nil, receives the boot / queue-wait sub-stage durations of this
 // allocation (virtual time).
 func (pl *Platform) acquireSlot(p *sim.Proc, aid string, sp *obs.Span) (*slot, error) {
-	// 1. Idle runtime that already loaded this code (cache-table CID
-	//    affinity: "saves the time for loading codes").
-	if sl := pl.popAffinity(aid); sl != nil {
+	// 1.–2. Idle runtime, best one first: the Scheduler prefers a runtime
+	//    that already loaded this code (cache-table CID affinity: "saves
+	//    the time for loading codes"), then any idle runtime.
+	if sl, affinity := pl.sched.Pick(aid); sl != nil {
 		pl.claim(sl)
-		if pl.om != nil {
+		if affinity && pl.om != nil {
 			pl.om.affinityHits.Inc()
 		}
-		return sl, nil
-	}
-	// 2. Any idle runtime.
-	if sl := pl.popIdle(); sl != nil {
-		pl.claim(sl)
 		return sl, nil
 	}
 	// 3. Grow the pool.
@@ -243,10 +174,9 @@ func (pl *Platform) acquireSlot(p *sim.Proc, aid string, sp *obs.Span) (*slot, e
 	return w.sl, nil
 }
 
-// claim marks an idle slot busy and stamps the hold start.
+// claim marks an idle slot active and stamps the hold start.
 func (pl *Platform) claim(sl *slot) {
-	sl.busy = true
-	sl.info.Busy = true
+	pl.db.Transition(sl.id, LifecycleActive)
 	sl.acquiredAt = pl.E.Now()
 }
 
@@ -285,7 +215,9 @@ func (pl *Platform) releaseSlot(sl *slot) {
 	sl.info.LastUsed = pl.E.Now()
 	pl.noteHold((pl.E.Now() - sl.acquiredAt).Duration())
 	if w := pl.waitQ.pop(); w != nil {
-		w.sl = sl // hand the slot over while still busy
+		// Hand the slot straight to the queued request: it stays
+		// LifecycleActive through the handoff (no idle edge).
+		w.sl = sl
 		sl.acquiredAt = pl.E.Now()
 		if pl.om != nil {
 			pl.om.queueLen.Set(int64(pl.waitQ.len()))
@@ -293,9 +225,8 @@ func (pl *Platform) releaseSlot(sl *slot) {
 		w.sig.Fire()
 		return
 	}
-	sl.busy = false
-	sl.info.Busy = false
-	pl.enqueueIdle(sl)
+	pl.db.Transition(sl.id, LifecycleIdle)
+	pl.sched.Offer(sl)
 	if pl.cfg.IdleTimeout > 0 {
 		pl.scheduleReap(sl, sl.info.LastUsed)
 	}
@@ -306,13 +237,13 @@ func (pl *Platform) releaseSlot(sl *slot) {
 // still registered, still idle, and untouched since.
 func (pl *Platform) scheduleReap(sl *slot, asOf sim.Time) {
 	pl.E.After(pl.cfg.IdleTimeout, func() {
-		if sl.removed || sl.busy || sl.info.LastUsed != asOf {
+		if !slotIdle(sl) || sl.info.LastUsed != asOf {
 			return
 		}
 		pl.E.Spawn("reap:"+sl.id, func(p *sim.Proc) {
 			// Re-check: the slot may have been claimed between the event
 			// firing and the proc starting.
-			if sl.busy || sl.info.LastUsed != asOf {
+			if !slotIdle(sl) || sl.info.LastUsed != asOf {
 				return
 			}
 			_ = pl.StopRuntime(p, sl.id)

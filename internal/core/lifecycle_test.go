@@ -1,0 +1,172 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLifecycleLegalEdges walks every legal edge through a fresh
+// ContainerDB row and checks the census, the hook stream, and the derived
+// Busy flag after each step.
+func TestLifecycleLegalEdges(t *testing.T) {
+	paths := [][]Lifecycle{
+		// The normal pooled life: boot, serve, idle, serve again, drain out.
+		{LifecycleBooting, LifecycleIdle, LifecycleActive, LifecycleIdle, LifecycleDraining, LifecycleReclaimed},
+		// Request-path boot handed straight to the requester.
+		{LifecycleBooting, LifecycleActive, LifecycleIdle, LifecycleDraining, LifecycleReclaimed},
+		// Boot failure.
+		{LifecycleBooting, LifecycleReclaimed},
+	}
+	for _, path := range paths {
+		db := NewContainerDB()
+		var edges []string
+		db.SetLifecycleHooks(func(from, to Lifecycle) {
+			edges = append(edges, from.String()+">"+to.String())
+		}, nil)
+		db.Put(&RuntimeInfo{CID: "rt-1"})
+		if got := db.StateCount(LifecycleCold); got != 1 {
+			t.Fatalf("fresh row not counted cold: %d", got)
+		}
+		prev := LifecycleCold
+		for _, to := range path {
+			db.Transition("rt-1", to)
+			info, ok := db.Get("rt-1")
+			if !ok {
+				t.Fatalf("row vanished at %s", to)
+			}
+			if info.State != to {
+				t.Fatalf("state after Transition(%s) = %s", to, info.State)
+			}
+			if info.Busy != (to == LifecycleActive) {
+				t.Fatalf("Busy=%v in state %s", info.Busy, to)
+			}
+			if db.StateCount(to) != 1 || db.StateCount(prev) != 0 {
+				t.Fatalf("census off after %s->%s: %+v", prev, to, db.Snapshot().States)
+			}
+			prev = to
+		}
+		if len(edges) != len(path) {
+			t.Fatalf("hook saw %d edges for path %v: %v", len(edges), path, edges)
+		}
+	}
+}
+
+// TestLifecycleIllegalEdges enumerates the full state-pair matrix: every
+// pair not in the legal-edge table must make Transition panic, and
+// LegalTransition must agree with the table.
+func TestLifecycleIllegalEdges(t *testing.T) {
+	legal := map[[2]Lifecycle]bool{
+		{LifecycleCold, LifecycleBooting}:       true,
+		{LifecycleBooting, LifecycleIdle}:       true,
+		{LifecycleBooting, LifecycleActive}:     true,
+		{LifecycleBooting, LifecycleReclaimed}:  true,
+		{LifecycleIdle, LifecycleActive}:        true,
+		{LifecycleIdle, LifecycleDraining}:      true,
+		{LifecycleActive, LifecycleIdle}:        true,
+		{LifecycleDraining, LifecycleReclaimed}: true,
+	}
+	mustPanic := func(from, to Lifecycle) (panicked bool, msg string) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicked = true
+				msg, _ = r.(string)
+			}
+		}()
+		db := NewContainerDB()
+		info := &RuntimeInfo{CID: "rt-x"}
+		db.Put(info)
+		// Drive the row to `from` along legal edges, then attempt the edge
+		// under test.
+		route := map[Lifecycle][]Lifecycle{
+			LifecycleCold:      nil,
+			LifecycleBooting:   {LifecycleBooting},
+			LifecycleIdle:      {LifecycleBooting, LifecycleIdle},
+			LifecycleActive:    {LifecycleBooting, LifecycleActive},
+			LifecycleDraining:  {LifecycleBooting, LifecycleIdle, LifecycleDraining},
+			LifecycleReclaimed: {LifecycleBooting, LifecycleReclaimed},
+		}
+		for _, step := range route[from] {
+			db.Transition("rt-x", step)
+		}
+		db.Transition("rt-x", to)
+		return false, ""
+	}
+	for _, from := range LifecycleStates() {
+		for _, to := range LifecycleStates() {
+			want := legal[[2]Lifecycle{from, to}]
+			if got := LegalTransition(from, to); got != want {
+				t.Errorf("LegalTransition(%s, %s) = %v, want %v", from, to, got, want)
+			}
+			panicked, msg := mustPanic(from, to)
+			if want && panicked {
+				t.Errorf("legal edge %s -> %s panicked: %s", from, to, msg)
+			}
+			if !want {
+				if !panicked {
+					t.Errorf("illegal edge %s -> %s did not panic", from, to)
+				} else if !strings.Contains(msg, "illegal lifecycle transition") {
+					t.Errorf("illegal edge %s -> %s: unexpected panic %q", from, to, msg)
+				}
+			}
+		}
+	}
+}
+
+// TestTransitionUnknownCIDPanics: the choke point must refuse rows it does
+// not own.
+func TestTransitionUnknownCIDPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Transition on unknown CID did not panic")
+		}
+	}()
+	NewContainerDB().Transition("nope", LifecycleBooting)
+}
+
+// TestListReturnsCopies pins the aliasing fix: mutating a List, Get or
+// Runtimes result must not write through to the DB's internal rows.
+func TestListReturnsCopies(t *testing.T) {
+	db := NewContainerDB()
+	db.Put(&RuntimeInfo{CID: "rt-1", MemMB: 96})
+	db.Transition("rt-1", LifecycleBooting)
+
+	got := db.List()[0]
+	got.State = LifecycleReclaimed
+	got.Busy = true
+	got.MemMB = 1
+
+	fresh, _ := db.Get("rt-1")
+	if fresh.State != LifecycleBooting || fresh.Busy || fresh.MemMB != 96 {
+		t.Fatalf("List leaked internal row: %+v", fresh)
+	}
+	fresh.State = LifecycleReclaimed
+	again, _ := db.Get("rt-1")
+	if again.State != LifecycleBooting {
+		t.Fatal("Get leaked internal row")
+	}
+}
+
+// TestSnapshotStates: the snapshot census maps states to live-row counts
+// and stays consistent through removals.
+func TestSnapshotStates(t *testing.T) {
+	db := NewContainerDB()
+	var gone []Lifecycle
+	db.SetLifecycleHooks(nil, func(last Lifecycle) { gone = append(gone, last) })
+	for _, cid := range []string{"a", "b", "c"} {
+		db.Put(&RuntimeInfo{CID: cid})
+		db.Transition(cid, LifecycleBooting)
+	}
+	db.Transition("a", LifecycleIdle)
+	db.Transition("b", LifecycleActive)
+	snap := db.Snapshot()
+	if snap.States[LifecycleBooting] != 1 || snap.States[LifecycleIdle] != 1 || snap.States[LifecycleActive] != 1 {
+		t.Fatalf("census: %+v", snap.States)
+	}
+	db.Remove("b")
+	if n := db.StateCount(LifecycleActive); n != 0 {
+		t.Fatalf("removed row still counted: %d", n)
+	}
+	if len(gone) != 1 || gone[0] != LifecycleActive {
+		t.Fatalf("onRemove saw %v", gone)
+	}
+}

@@ -26,6 +26,13 @@ type platformMetrics struct {
 	poolSize *obs.Gauge // current runtime pool size
 	queueLen *obs.Gauge // current dispatcher wait-ring depth
 
+	// lifeEdges counts every lifecycle edge taken, indexed [from][to];
+	// only legal edges are resolved (illegal ones panic in Transition
+	// before reaching the hook). lifeStates gauges the live-runtime census
+	// per state, refreshed from the ContainerDB on every edge.
+	lifeEdges  [numLifecycleStates][numLifecycleStates]*obs.Counter
+	lifeStates [numLifecycleStates]*obs.Gauge
+
 	queueWait *metrics.ShardedHistogram // virtual time parked in the wait ring
 	bootTime  *metrics.ShardedHistogram // virtual boot duration
 	codeStage *metrics.ShardedHistogram // virtual code staging (push path)
@@ -39,30 +46,69 @@ type platformMetrics struct {
 // virtual time — the engine's clock, never the wall clock — so they are
 // bit-deterministic per seed in simulations and correctly paced in the
 // realtime server.
-func (pl *Platform) SetObs(reg *obs.Registry) {
+func (pl *Platform) SetObs(reg *obs.Registry) { pl.SetObsPrefixed(reg, "") }
+
+// SetObsPrefixed is SetObs with every instrument name prefixed — the
+// cluster gateway labels each shard's instruments "shardN." so one shared
+// registry scrape separates the shards.
+func (pl *Platform) SetObsPrefixed(reg *obs.Registry, prefix string) {
 	if reg == nil {
 		pl.om = nil
+		pl.db.SetLifecycleHooks(nil, nil)
 		return
 	}
-	pl.om = &platformMetrics{
+	om := &platformMetrics{
 		reg:             reg,
-		whHits:          reg.Counter("warehouse.hits"),
-		whMisses:        reg.Counter("warehouse.misses"),
-		whCoalesced:     reg.Counter("warehouse.coalesced_pushes"),
-		boots:           reg.Counter("dispatch.boots"),
-		bootFails:       reg.Counter("dispatch.boot_failures"),
-		affinityHits:    reg.Counter("dispatch.affinity_hits"),
-		queued:          reg.Counter("dispatch.queued"),
-		overloadRejects: reg.Counter("dispatch.overload_rejects"),
-		executes:        reg.Counter("core.executes"),
-		poolSize:        reg.Gauge("core.pool_size"),
-		queueLen:        reg.Gauge("core.queue_len"),
-		queueWait:       reg.Histogram("stage." + obs.StageQueueWait),
-		bootTime:        reg.Histogram("stage." + obs.StageBoot),
-		codeStage:       reg.Histogram("stage." + obs.StageCodeStage),
-		whLoad:          reg.Histogram("stage." + obs.StageWarehouseLoad),
-		runTime:         reg.Histogram("stage." + obs.StageRun),
+		whHits:          reg.Counter(prefix + "warehouse.hits"),
+		whMisses:        reg.Counter(prefix + "warehouse.misses"),
+		whCoalesced:     reg.Counter(prefix + "warehouse.coalesced_pushes"),
+		boots:           reg.Counter(prefix + "dispatch.boots"),
+		bootFails:       reg.Counter(prefix + "dispatch.boot_failures"),
+		affinityHits:    reg.Counter(prefix + "dispatch.affinity_hits"),
+		queued:          reg.Counter(prefix + "dispatch.queued"),
+		overloadRejects: reg.Counter(prefix + "dispatch.overload_rejects"),
+		executes:        reg.Counter(prefix + "core.executes"),
+		poolSize:        reg.Gauge(prefix + "core.pool_size"),
+		queueLen:        reg.Gauge(prefix + "core.queue_len"),
+		queueWait:       reg.Histogram(prefix + "stage." + obs.StageQueueWait),
+		bootTime:        reg.Histogram(prefix + "stage." + obs.StageBoot),
+		codeStage:       reg.Histogram(prefix + "stage." + obs.StageCodeStage),
+		whLoad:          reg.Histogram(prefix + "stage." + obs.StageWarehouseLoad),
+		runTime:         reg.Histogram(prefix + "stage." + obs.StageRun),
 	}
+	for from, tos := range lifecycleEdges {
+		for _, to := range tos {
+			om.lifeEdges[from][to] = reg.Counter(prefix + "lifecycle.edge." + from.String() + "_" + to.String())
+		}
+	}
+	for _, s := range LifecycleStates() {
+		om.lifeStates[s] = reg.Gauge(prefix + "lifecycle.state." + s.String())
+	}
+	pl.om = om
+	pl.db.SetLifecycleHooks(pl.noteLifecycleEdge, pl.noteLifecycleGone)
+}
+
+// noteLifecycleEdge is the ContainerDB transition hook: count the edge and
+// refresh the census gauges of the two states it touched.
+func (pl *Platform) noteLifecycleEdge(from, to Lifecycle) {
+	om := pl.om
+	if om == nil {
+		return
+	}
+	if c := om.lifeEdges[from][to]; c != nil {
+		c.Inc()
+	}
+	om.lifeStates[from].Set(int64(pl.db.StateCount(from)))
+	om.lifeStates[to].Set(int64(pl.db.StateCount(to)))
+}
+
+// noteLifecycleGone is the ContainerDB removal hook: a record left the DB
+// in its final state, so that state's census gauge shrinks.
+func (pl *Platform) noteLifecycleGone(last Lifecycle) {
+	if pl.om == nil {
+		return
+	}
+	pl.om.lifeStates[last].Set(int64(pl.db.StateCount(last)))
 }
 
 // Obs returns the registry installed with SetObs, nil when disabled.

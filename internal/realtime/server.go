@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"rattrap/internal/cluster"
 	"rattrap/internal/core"
 	"rattrap/internal/metrics"
 	"rattrap/internal/obs"
@@ -52,6 +53,15 @@ type Options struct {
 	// on admission it stops reading frames (including code pushes) until a
 	// slot frees.
 	PipelineDepth int
+	// Shards is how many platform shards the server runs (default 1).
+	// Each shard is a full single-node platform — its own engine, pacing
+	// driver, runtime pool, warehouse and admission bounds — and requests
+	// route to shards by consistent-hashing their AID (cluster.Ring), so
+	// each app's warehouse entry lives on exactly one shard. Separate
+	// engines mean separate pacing: shards overlap in wall-clock time the
+	// way separate servers would. Shard instruments share the server's
+	// registry under "shardN." prefixes, and runtime CIDs get "sN-".
+	Shards int
 }
 
 func (o Options) withDefaults() Options {
@@ -78,18 +88,31 @@ func (o Options) withDefaults() Options {
 	if o.PipelineDepth < 1 {
 		o.PipelineDepth = 1
 	}
+	if o.Shards < 1 {
+		o.Shards = 1
+	}
 	return o
 }
 
+// serverShard is one platform with its own engine and pacing driver. All
+// cross-goroutine access to the shard's engine goes through drv.Do.
+type serverShard struct {
+	drv *Driver
+	pl  *core.Platform
+}
+
 // Server serves the offload wire protocol over real connections, backed by
-// a paced core.Platform.
+// one or more paced core.Platform shards (Options.Shards) with requests
+// routed by consistent-hashed AID.
 type Server struct {
-	drv   *Driver
-	pl    *core.Platform
-	log   *log.Logger
-	lat   *metrics.LatencyHistogram
-	opts  Options
-	dedup *dedupCache
+	shards []serverShard
+	ring   *cluster.Ring
+	drv    *Driver        // shard 0 (single-shard accessors, tests)
+	pl     *core.Platform // shard 0
+	log    *log.Logger
+	lat    *metrics.LatencyHistogram
+	opts   Options
+	dedup  *dedupCache
 
 	// Observability: the server always carries a registry (it is the
 	// platform's observable entry point). Counters are pre-resolved here so
@@ -125,15 +148,6 @@ func NewTickerServer(cfg core.Config, speed float64, logger *log.Logger) *Server
 }
 
 func newServer(cfg core.Config, speed float64, logger *log.Logger, ticker bool, opts Options) *Server {
-	e := sim.NewEngine(1)
-	pl := core.New(e, cfg)
-	var drv *Driver
-	if ticker {
-		drv = NewTickerDriver(e, speed)
-	} else {
-		drv = NewDriver(e, speed)
-	}
-	drv.Start()
 	if logger == nil {
 		logger = log.New(io.Discard, "", 0)
 	}
@@ -143,10 +157,35 @@ func newServer(cfg core.Config, speed float64, logger *log.Logger, ticker bool, 
 		dedup = newDedupCache(opts.DedupWindow)
 	}
 	reg := obs.NewRegistry()
-	pl.SetObs(reg)
+	shards := make([]serverShard, opts.Shards)
+	for i := range shards {
+		// Per-shard engines: seed i+1 keeps shard 0 identical to the
+		// historical single-engine server.
+		e := sim.NewEngine(int64(i) + 1)
+		scfg := cfg
+		if opts.Shards > 1 {
+			scfg.CIDPrefix = cluster.CIDPrefix(i)
+		}
+		pl := core.New(e, scfg)
+		var drv *Driver
+		if ticker {
+			drv = NewTickerDriver(e, speed)
+		} else {
+			drv = NewDriver(e, speed)
+		}
+		drv.Start()
+		if opts.Shards > 1 {
+			pl.SetObsPrefixed(reg, cluster.ShardPrefix(i))
+		} else {
+			pl.SetObs(reg)
+		}
+		shards[i] = serverShard{drv: drv, pl: pl}
+	}
 	s := &Server{
-		drv:        drv,
-		pl:         pl,
+		shards:     shards,
+		ring:       cluster.NewRing(opts.Shards, 0),
+		drv:        shards[0].drv,
+		pl:         shards[0].pl,
 		log:        logger,
 		lat:        metrics.NewLatencyHistogram(),
 		opts:       opts,
@@ -162,11 +201,35 @@ func newServer(cfg core.Config, speed float64, logger *log.Logger, ticker bool, 
 	return s
 }
 
-// Platform exposes the underlying platform (status endpoints, tests).
+// Platform exposes shard 0's platform (status endpoints, tests; the whole
+// platform on a single-shard server).
 func (s *Server) Platform() *core.Platform { return s.pl }
 
-// Driver exposes the pacing driver.
+// Driver exposes shard 0's pacing driver.
 func (s *Server) Driver() *Driver { return s.drv }
+
+// Shards returns the shard count.
+func (s *Server) Shards() int { return len(s.shards) }
+
+// ShardPlatform returns shard i's platform.
+func (s *Server) ShardPlatform(i int) *core.Platform { return s.shards[i].pl }
+
+// shardFor routes an AID to its owning shard.
+func (s *Server) shardFor(aid string) (int, serverShard) {
+	i := s.ring.Owner(aid)
+	return i, s.shards[i]
+}
+
+// shardErr tags an error with its shard on multi-shard servers; with one
+// shard errors pass through untouched, preserving the single-node
+// messages. The wrap keeps errors.Is / errors.As working (ShardError
+// unwraps), so typed overload and blocked classification survive routing.
+func (s *Server) shardErr(shard int, err error) error {
+	if err == nil || len(s.shards) == 1 {
+		return err
+	}
+	return &cluster.ShardError{Shard: shard, Err: err}
+}
 
 // Metrics exposes the server's observability registry: platform counters
 // and gauges (dispatch.*, warehouse.*, core.*), virtual-time stage
@@ -248,7 +311,9 @@ func (s *Server) Close() {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
-	s.drv.Stop()
+	for _, sh := range s.shards {
+		sh.drv.Stop()
+	}
 }
 
 // recv reads one frame, bounding the wait with a read deadline when
@@ -634,6 +699,9 @@ func (h *connHandler) serveRequest(req offload.ExecRequest, start time.Time) {
 	// so no lock is needed.
 	sp := obs.NewSpan()
 	req.SetSpan(sp)
+	// Route the request to the shard owning its AID; every engine
+	// interaction for this request happens on that shard's driver.
+	shardID, shard := s.shardFor(req.AID)
 	var (
 		sess    offload.Session
 		prepErr error
@@ -641,8 +709,8 @@ func (h *connHandler) serveRequest(req offload.ExecRequest, start time.Time) {
 		execErr error
 		fast    bool
 	)
-	s.drv.Do("request:"+h.dev, func(p *sim.Proc) {
-		sess, prepErr = s.pl.Prepare(p, req)
+	shard.drv.Do("request:"+h.dev, func(p *sim.Proc) {
+		sess, prepErr = shard.pl.Prepare(p, req)
 		if prepErr != nil || sess.NeedCode() {
 			return // code transfer needs protocol I/O; finish below
 		}
@@ -654,13 +722,13 @@ func (h *connHandler) serveRequest(req offload.ExecRequest, start time.Time) {
 		fast = true
 	})
 	if prepErr != nil {
-		r := errorResult(prepErr)
+		r := errorResult(s.shardErr(shardID, prepErr))
 		r.Seq = req.Seq
 		h.out <- outMsg{frame: resultFrame(r), start: start, span: sp}
 		return
 	}
 	if fast {
-		h.finishRequest(key, req.Seq, res, execErr, start, sp)
+		h.finishRequest(key, req.Seq, res, s.shardErr(shardID, execErr), start, sp)
 		return
 	}
 
@@ -672,7 +740,7 @@ func (h *connHandler) serveRequest(req offload.ExecRequest, start time.Time) {
 	released := false
 	defer func() {
 		if !released {
-			s.drv.Do("release:"+h.dev, func(p *sim.Proc) { sess.Release() })
+			shard.drv.Do("release:"+h.dev, func(p *sim.Proc) { sess.Release() })
 		}
 	}()
 
@@ -683,18 +751,18 @@ func (h *connHandler) serveRequest(req offload.ExecRequest, start time.Time) {
 			return
 		}
 		var pushErr error
-		s.drv.Do("push:"+h.dev, func(p *sim.Proc) {
+		shard.drv.Do("push:"+h.dev, func(p *sim.Proc) {
 			pushErr = sess.PushCode(p, push)
 		})
 		if pushErr != nil {
-			r := errorResult(pushErr)
+			r := errorResult(s.shardErr(shardID, pushErr))
 			r.Seq = req.Seq
 			h.out <- outMsg{frame: resultFrame(r), start: start, span: sp}
 			return
 		}
 
 		// Execute and release in one injected process.
-		s.drv.Do("exec:"+h.dev, func(p *sim.Proc) {
+		shard.drv.Do("exec:"+h.dev, func(p *sim.Proc) {
 			res, execErr = sess.Execute(p)
 			if errors.Is(execErr, offload.ErrCodeNeeded) {
 				return
@@ -706,7 +774,7 @@ func (h *connHandler) serveRequest(req offload.ExecRequest, start time.Time) {
 			break
 		}
 	}
-	h.finishRequest(key, req.Seq, res, execErr, start, sp)
+	h.finishRequest(key, req.Seq, res, s.shardErr(shardID, execErr), start, sp)
 }
 
 // finishRequest stores a successful result in the idempotency window and
