@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz lint bench bench-realtime bench-throughput bench-cluster bench-faults bench-stages ci clean
+.PHONY: all build vet test race fuzz lint bench bench-allocs bench-realtime bench-throughput bench-cluster bench-faults bench-stages ci clean
 
 all: ci
 
@@ -39,6 +39,12 @@ bench:
 # Short fuzz pass over the wire-frame codec (CI runs the same smoke).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzFrameCodec -fuzztime 30s ./internal/offload/
+
+# Allocation gate: allocs/op on the binary-wire warehouse-hit path must
+# stay under the absolute ceiling and within slack of the checked-in
+# throughput baseline.
+bench-allocs:
+	$(GO) run ./cmd/rattrap-bench -allocs -baseline BENCH_throughput.json
 
 # Regenerates BENCH_realtime.json (event vs ticker driver comparison).
 bench-realtime:

@@ -1,8 +1,6 @@
 package main
 
 import (
-	"bytes"
-	"encoding/gob"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -146,14 +144,7 @@ func measureClusterCell(shards, devices, requests int) (clCell, error) {
 
 	app, _ := workload.ByName(workload.NameLinpack)
 	baseAID := offload.AID(app.Name(), app.CodeSize())
-	var pbuf bytes.Buffer
-	if err := gob.NewEncoder(&pbuf).Encode(struct {
-		Seed int64
-		N    int
-	}{Seed: 7, N: clOrder}); err != nil {
-		return clCell{}, err
-	}
-	params := pbuf.Bytes()
+	params := workload.EncodeLinpackParams(7, clOrder)
 
 	var ready, done sync.WaitGroup
 	start := make(chan struct{})
@@ -165,7 +156,7 @@ func measureClusterCell(shards, devices, requests int) (clCell, error) {
 			defer done.Done()
 			aid := fmt.Sprintf("%s#d%d", baseAID, i)
 			errs[i] = driveThroughputDevice(ln.Addr().String(), fmt.Sprintf("cl-dev-%d", i),
-				app, aid, params, clDepth, requests, &ready, start)
+				offload.WireGob, app, aid, params, clDepth, requests, &ready, start)
 		}(i)
 	}
 	ready.Wait() // every device connected, warmed up and parked at the gate

@@ -7,7 +7,8 @@
 //
 //	rattrap-bench [-seed N] [-fig 1|2|3|9|10|11|obs4] [-table 1|2] [-out dir]
 //	rattrap-bench -realtime [-out dir] [-baseline BENCH_realtime.json]   # serving-layer latency comparison
-//	rattrap-bench -throughput [-short] [-out dir] [-baseline BENCH_throughput.json]   # pipelined data-plane sweep
+//	rattrap-bench -throughput [-short] [-out dir] [-baseline BENCH_throughput.json]   # pipelined data-plane sweep (both wire codecs)
+//	rattrap-bench -allocs [-baseline BENCH_throughput.json]   # allocs/op gate on the binary-wire warehouse-hit path
 //	rattrap-bench -cluster [-short] [-out dir]   # sharded-gateway scaling sweep (shards x devices)
 //	rattrap-bench -faults [-seed N] [-out dir]   # fault-plan robustness sweep
 //	rattrap-bench -stages [-seed N] [-out dir]   # per-stage latency breakdown (deterministic)
@@ -33,6 +34,7 @@ func main() {
 	clu := flag.Bool("cluster", false, "sweep the sharded gateway (shards x devices) and write BENCH_cluster.json")
 	short := flag.Bool("short", false, "with -throughput or -cluster: run the reduced CI sweep (fewer cells and requests)")
 	baseline := flag.String("baseline", "", "with -realtime or -throughput: fail on regression vs this baseline report (>3x p50; with -throughput also <0.5x req/s)")
+	allocs := flag.Bool("allocs", false, "gate allocs/op on the binary-wire warehouse-hit path (absolute ceiling + baseline fence)")
 	flt := flag.Bool("faults", false, "sweep the standard fault plans and write BENCH_faults.json")
 	stages := flag.Bool("stages", false, "emit the per-stage latency breakdown as BENCH_stages.json")
 	flag.Parse()
@@ -47,6 +49,14 @@ func main() {
 	if *rt {
 		if err := runRealtimeBench(*out, *baseline); err != nil {
 			fmt.Fprintf(os.Stderr, "rattrap-bench: realtime: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *allocs {
+		if err := runAllocsGate(*baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "rattrap-bench: allocs: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -1,8 +1,6 @@
 package main
 
 import (
-	"bytes"
-	"encoding/gob"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -156,14 +154,7 @@ func measureMode(ticker bool) (rtModeReport, error) {
 
 	app, _ := workload.ByName(workload.NameLinpack)
 	aid := offload.AID(app.Name(), app.CodeSize())
-	var pbuf bytes.Buffer
-	if err := gob.NewEncoder(&pbuf).Encode(struct {
-		Seed int64
-		N    int
-	}{Seed: 7, N: 8}); err != nil {
-		return rtModeReport{}, err
-	}
-	params := pbuf.Bytes()
+	params := workload.EncodeLinpackParams(7, 8)
 
 	roundtrip := func(seq int) error {
 		if err := c.Send(offload.Frame{Kind: offload.KindExec, Exec: &offload.ExecRequest{

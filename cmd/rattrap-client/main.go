@@ -17,7 +17,7 @@
 //
 // Usage:
 //
-//	rattrap-client [-server localhost:7431] [-app Linpack] [-n 3] [-device phone-1] [-seed 1] [-retries 4] [-pipeline 8]
+//	rattrap-client [-server localhost:7431] [-app Linpack] [-n 3] [-device phone-1] [-seed 1] [-retries 4] [-pipeline 8] [-wire binary|gob]
 package main
 
 import (
@@ -38,6 +38,7 @@ import (
 type client struct {
 	server   string
 	deviceID string
+	wire     offload.Wire
 	conn     net.Conn
 	c        *offload.Conn
 }
@@ -50,7 +51,7 @@ func (cl *client) connect() error {
 	if err != nil {
 		return err
 	}
-	c := offload.NewConn(conn)
+	c := offload.NewConnWire(conn, cl.wire)
 	if err := c.Send(offload.Frame{Kind: offload.KindHello, Hello: &offload.Hello{DeviceID: cl.deviceID}}); err != nil {
 		conn.Close()
 		return fmt.Errorf("hello: %w", err)
@@ -118,7 +119,7 @@ func backoff(rng *rand.Rand, base, cap time.Duration, attempt int, retryAfter ti
 // runPipelined offloads n requests with up to depth in flight on one
 // connection. Results print in completion order; per-request latency is
 // measured from its submit.
-func runPipelined(server, deviceID string, app workload.App, n, depth int, seed int64) error {
+func runPipelined(server, deviceID string, wire offload.Wire, app workload.App, n, depth int, seed int64) error {
 	conn, err := net.Dial("tcp", server)
 	if err != nil {
 		return err
@@ -126,7 +127,7 @@ func runPipelined(server, deviceID string, app workload.App, n, depth int, seed 
 	defer conn.Close()
 	aid := offload.AID(app.Name(), app.CodeSize())
 	submitted := make(map[int]time.Time, depth)
-	pc := offload.NewPipelineClient(offload.NewConn(conn), depth,
+	pc := offload.NewPipelineClient(offload.NewConnWire(conn, wire), depth,
 		func(need offload.NeedCode) (offload.CodePush, error) {
 			return offload.CodePush{AID: aid, App: app.Name(), Size: app.CodeSize()}, nil
 		},
@@ -167,9 +168,15 @@ func main() {
 	retries := flag.Int("retries", 4, "max attempts per request (1 disables retrying)")
 	retryBase := flag.Duration("retry-base", 200*time.Millisecond, "initial retry backoff")
 	pipeline := flag.Int("pipeline", 1, "requests to keep in flight on one connection (1 = serial)")
+	wireName := flag.String("wire", "binary", "wire codec: binary (flat frames) or gob (legacy)")
 	flag.Parse()
 	if *retries < 1 {
 		*retries = 1
+	}
+	wire, err := offload.ParseWire(*wireName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rattrap-client: %v\n", err)
+		os.Exit(2)
 	}
 
 	app, err := workload.ByName(*appName)
@@ -178,12 +185,12 @@ func main() {
 		os.Exit(2)
 	}
 	if *pipeline > 1 {
-		if err := runPipelined(*server, *deviceID, app, *n, *pipeline, *seed); err != nil {
+		if err := runPipelined(*server, *deviceID, wire, app, *n, *pipeline, *seed); err != nil {
 			log.Fatalf("rattrap-client: %v", err)
 		}
 		return
 	}
-	cl := &client{server: *server, deviceID: *deviceID}
+	cl := &client{server: *server, deviceID: *deviceID, wire: wire}
 	if err := cl.connect(); err != nil {
 		log.Fatalf("rattrap-client: %v", err)
 	}

@@ -27,6 +27,15 @@ func (r *Runtime) LoadedCodes() []string {
 	return out
 }
 
+// EachLoadedCode visits every held AID without building a slice — the
+// scheduler indexes idle runtimes on every release, which sits on the
+// zero-alloc request path.
+func (r *Runtime) EachLoadedCode(fn func(aid string)) {
+	for aid := range r.loaded {
+		fn(aid)
+	}
+}
+
 // LoadCode runs the ClassLoader over a mobile code blob of the given size,
 // blocking p for the dex parse/verify CPU. fromWarehouse adds the read of
 // the blob out of the App Warehouse store; freshly received code is

@@ -588,6 +588,12 @@ func (s *session) Execute(p *sim.Proc) (offload.Result, error) {
 		ParamBytes: req.ParamBytes, FileBytes: req.FileBytes,
 		RoundTrips: req.RoundTrips, InteractBytes: req.InteractBytes,
 	}
+	if pre := req.Precomputed(); pre != nil {
+		// The realtime server already ran the computation on the request's
+		// own goroutine; the runtime charges the modeled work without
+		// redoing it under the serialized engine.
+		task.SetPrecomputed(pre)
+	}
 	runStart := s.stageStart(sp)
 	res, err := sl.rt.Execute(p, req.AID, task, pl.reg)
 	if d, on := s.stageEnd(runStart); on && err == nil {

@@ -85,7 +85,7 @@ func (s *AffinityScheduler) Offer(sl *slot) {
 		sl.inIdle = true
 		heap.Push(&s.idle, sl)
 	}
-	for _, aid := range sl.rt.LoadedCodes() {
+	sl.rt.EachLoadedCode(func(aid string) {
 		if !sl.inAff[aid] {
 			sl.inAff[aid] = true
 			h := s.affinity[aid]
@@ -95,7 +95,7 @@ func (s *AffinityScheduler) Offer(sl *slot) {
 			}
 			heap.Push(h, sl)
 		}
-	}
+	})
 }
 
 // Pick implements Scheduler: the earliest-booted idle slot already holding

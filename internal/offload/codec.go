@@ -70,7 +70,25 @@ const (
 // Hello opens a device connection.
 type Hello struct {
 	DeviceID string
+
+	// wireVersion is the binary wire version the client advertises in its
+	// handshake. Unexported so it never enters the gob encoding: gob type
+	// descriptors cover every exported field, and adding one would change
+	// the bytes of the legacy stream (the golden test pins them). The
+	// binary codec carries it explicitly; on the gob fallback it is
+	// implicitly zero ("gob only").
+	wireVersion int
 }
+
+// SetWireVersion records the advertised binary wire version. The binary
+// encoder fills in BinaryWireVersion automatically when unset, so only
+// tests exercising version skew need this.
+func (h *Hello) SetWireVersion(v int) { h.wireVersion = v }
+
+// WireVersion reports the binary wire version the peer advertised in its
+// hello: 0 for a gob handshake, BinaryWireVersion for a current binary
+// client.
+func (h Hello) WireVersion() int { return h.wireVersion }
 
 // NeedCode asks the device to transfer mobile code. Seq identifies which
 // in-flight request the ask belongs to, so pipelined clients can route it;
@@ -165,6 +183,15 @@ type Conn struct {
 	w        io.Writer
 	maxFrame int
 
+	// wire is the constructor's codec selection; see the Wire constants.
+	// sendBinary resolves the send codec (for WireAuto it flips to true
+	// when the peer's first frame sniffs as binary). recvWire pins the
+	// receive codec after the first frame: 0 unsniffed, 'g' gob, 'b'
+	// binary.
+	wire       Wire
+	sendBinary bool
+	recvWire   byte
+
 	// Send-side persistent state: the gob stream encoder, its scratch
 	// buffer, and a scratch Frame that keeps the encoded value off the
 	// heap (passing a stack &f to Encode would escape per call).
@@ -174,32 +201,92 @@ type Conn struct {
 	lenBuf     [binary.MaxVarintLen64]byte
 	sendBroken bool
 
+	// wbuf assembles the length prefix and payload of one outgoing frame
+	// into a single contiguous Write — two small writes per frame double
+	// the per-frame syscall bill. pend holds framed bytes awaiting an
+	// explicit FlushSend when coalescing is on (see CoalesceSends).
+	wbuf     []byte
+	pend     []byte
+	coalesce bool
+
 	// Recv-side persistent state: the gob stream decoder and the reader
 	// it drains the current frame from.
 	dec        *gob.Decoder
 	recvSrc    frameReader
 	recvBroken bool
+
+	// Binary-codec receive state: the buffer backing the last binary
+	// frame's byte views (nil once taken via TakeRecvBuf or in gob mode),
+	// the scratch payload structs the decoded frame points into, and the
+	// string intern table.
+	held       *[]byte
+	intern     map[string]string
+	recvHello  Hello
+	recvExec   ExecRequest
+	recvNeed   NeedCode
+	recvCode   CodePush
+	recvResult Result
 }
 
 // NewConn wraps a stream (e.g. a net.Conn) in the protocol codec with the
-// default frame-size limit.
+// default frame-size limit, speaking the legacy gob codec (WireGob) — the
+// bytes it produces are identical to every pre-binary-codec release.
 func NewConn(rw io.ReadWriter) *Conn { return NewConnLimit(rw, DefaultMaxFrame) }
 
 // NewConnLimit wraps a stream with an explicit frame-size limit.
 // maxFrame <= 0 selects DefaultMaxFrame.
 func NewConnLimit(rw io.ReadWriter, maxFrame int) *Conn {
+	return NewConnWireLimit(rw, WireGob, maxFrame)
+}
+
+// NewConnWire wraps a stream with an explicit codec selection and the
+// default frame-size limit.
+func NewConnWire(rw io.ReadWriter, w Wire) *Conn {
+	return NewConnWireLimit(rw, w, DefaultMaxFrame)
+}
+
+// NewConnWireLimit wraps a stream with an explicit codec selection and
+// frame-size limit. maxFrame <= 0 selects DefaultMaxFrame; an empty or
+// unknown Wire selects WireAuto.
+func NewConnWireLimit(rw io.ReadWriter, w Wire, maxFrame int) *Conn {
 	if maxFrame <= 0 {
 		maxFrame = DefaultMaxFrame
 	}
-	c := &Conn{r: bufio.NewReader(rw), w: rw, maxFrame: maxFrame}
+	if w != WireGob && w != WireBinary {
+		w = WireAuto
+	}
+	c := &Conn{r: bufio.NewReader(rw), w: rw, maxFrame: maxFrame, wire: w}
+	c.sendBinary = w == WireBinary
 	c.enc = gob.NewEncoder(&c.sendBuf)
 	c.dec = gob.NewDecoder(&c.recvSrc)
 	return c
 }
 
-// Send writes one frame. After a non-nil error the Conn's send side is
-// poisoned and the connection must be dropped: the persistent gob stream
-// state may no longer agree with the receiver's.
+// WireName reports the codec this connection currently sends with:
+// "gob" or "binary". For WireAuto it reads "gob" until the peer's first
+// frame negotiates binary.
+func (c *Conn) WireName() string {
+	if c.sendBinary {
+		return string(WireBinary)
+	}
+	return string(WireGob)
+}
+
+// TakeRecvBuf transfers ownership of the read buffer backing the most
+// recently received binary frame's byte views out of the connection's
+// recycle path. Without it the views are invalidated by the next Recv;
+// see RecvBuf. Returns the zero RecvBuf when there is nothing to hand
+// over (gob frame, or no byte views outstanding).
+func (c *Conn) TakeRecvBuf() RecvBuf {
+	b := RecvBuf{bp: c.held}
+	c.held = nil
+	return b
+}
+
+// Send writes one frame using the connection's send codec. After a
+// non-nil error the Conn's send side is poisoned and the connection must
+// be dropped: the persistent gob stream state may no longer agree with
+// the receiver's.
 func (c *Conn) Send(f Frame) error {
 	if err := f.Validate(); err != nil {
 		return err
@@ -208,22 +295,91 @@ func (c *Conn) Send(f Frame) error {
 		return errors.New("offload: send on poisoned connection")
 	}
 	c.sendBuf.Reset()
-	c.sendFrame = f
-	if err := c.enc.Encode(&c.sendFrame); err != nil {
-		c.sendBroken = true
-		return err
+	if c.sendBinary {
+		if err := c.encodeBinary(&f); err != nil {
+			// Nothing was written to the stream; the frame was merely
+			// unencodable. State is still consistent, but poison anyway:
+			// callers treat codec errors as connection-fatal.
+			c.sendBroken = true
+			return err
+		}
+	} else {
+		c.sendFrame = f
+		if err := c.enc.Encode(&c.sendFrame); err != nil {
+			c.sendBroken = true
+			return err
+		}
+		c.sendFrame = Frame{} // don't pin payload pointers between sends
 	}
-	c.sendFrame = Frame{} // don't pin payload pointers between sends
+	return c.flushSendBuf()
+}
+
+// SendResult writes a result frame without going through a Frame value.
+// It exists for the server's hot reply path: building a Frame there would
+// force &Result to escape per reply. Same poisoning rules as Send.
+func (c *Conn) SendResult(r *Result) error {
+	if c.sendBroken {
+		return errors.New("offload: send on poisoned connection")
+	}
+	if !c.sendBinary {
+		return c.Send(Frame{Kind: KindResult, Result: r})
+	}
+	c.sendBuf.Reset()
+	c.sendBuf.Write([]byte{binMagic, BinaryWireVersion, binKindResult, 0})
+	c.putString(r.Output)
+	c.putZig(int64(r.ResultBytes))
+	c.putString(r.Err)
+	c.putString(r.Code)
+	c.putZig(int64(r.RetryAfterMs))
+	c.putZig(int64(r.Seq))
+	return c.flushSendBuf()
+}
+
+// sendCoalesceLimit bounds how much framed data a coalescing connection
+// holds in memory before forcing a flush mid-batch.
+const sendCoalesceLimit = 32 << 10
+
+// CoalesceSends switches the send side to explicit flushing: framed
+// messages accumulate in memory and reach the stream only on FlushSend
+// (or when the pending buffer hits sendCoalesceLimit). A reply path that
+// drains a queue can batch every result that is already waiting into one
+// syscall. Single-sender connections only, and the sender owns the flush
+// schedule — a frame is not on the wire until FlushSend returns.
+func (c *Conn) CoalesceSends() { c.coalesce = true }
+
+// FlushSend writes out all frames buffered by a coalescing connection.
+// A no-op on write-through connections and when nothing is pending.
+func (c *Conn) FlushSend() error {
+	if len(c.pend) == 0 {
+		return nil
+	}
+	_, err := c.w.Write(c.pend)
+	c.pend = c.pend[:0]
+	if err != nil {
+		c.sendBroken = true
+	}
+	return err
+}
+
+// flushSendBuf frames the encoded payload in sendBuf onto the stream —
+// prefix and payload as one Write — or parks it in pend when coalescing.
+func (c *Conn) flushSendBuf() error {
 	if c.sendBuf.Len() > c.maxFrame {
 		c.sendBroken = true
 		return fmt.Errorf("%w: encoding %d bytes, limit %d", ErrFrameTooLarge, c.sendBuf.Len(), c.maxFrame)
 	}
 	n := binary.PutUvarint(c.lenBuf[:], uint64(c.sendBuf.Len()))
-	if _, err := c.w.Write(c.lenBuf[:n]); err != nil {
-		c.sendBroken = true
-		return err
+	if c.coalesce {
+		c.pend = append(c.pend, c.lenBuf[:n]...)
+		c.pend = append(c.pend, c.sendBuf.Bytes()...)
+		if len(c.pend) >= sendCoalesceLimit {
+			return c.FlushSend()
+		}
+		return nil
 	}
-	if _, err := c.w.Write(c.sendBuf.Bytes()); err != nil {
+	c.wbuf = append(c.wbuf[:0], c.lenBuf[:n]...)
+	c.wbuf = append(c.wbuf, c.sendBuf.Bytes()...)
+	if _, err := c.w.Write(c.wbuf); err != nil {
 		c.sendBroken = true
 		return err
 	}
@@ -232,9 +388,16 @@ func (c *Conn) Send(f Frame) error {
 
 // Recv reads one frame. A frame whose declared size exceeds the
 // connection's limit is rejected with ErrFrameTooLarge before any
-// payload-sized allocation happens. After a non-nil error (other than a
-// clean io.EOF at a frame boundary) the Conn's receive side is poisoned
-// and the connection must be dropped.
+// payload-sized allocation happens. The first received frame sniffs the
+// peer's codec (binary frames open with a magic byte no gob stream can
+// produce) and pins it for the connection's lifetime; under WireAuto the
+// send side mirrors the sniffed codec. After a non-nil error (other than
+// a clean io.EOF at a frame boundary) the Conn's receive side is
+// poisoned and the connection must be dropped.
+//
+// Binary frames decode zero-copy: the returned payload structs and byte
+// views are valid only until the next Recv (see TakeRecvBuf). Gob frames
+// are freshly allocated and independent of the connection.
 func (c *Conn) Recv() (Frame, error) {
 	if c.recvBroken {
 		return Frame{}, errors.New("offload: recv on poisoned connection")
@@ -247,7 +410,14 @@ func (c *Conn) Recv() (Frame, error) {
 		c.recvBroken = true
 		return Frame{}, fmt.Errorf("%w: declared %d bytes, limit %d", ErrFrameTooLarge, size, c.maxFrame)
 	}
-	bp := recvBufPool.Get().(*[]byte)
+	// Buffer acquisition: reuse the connection's held buffer when its
+	// views were not taken (they are invalidated now, per contract), else
+	// draw from the shared pool.
+	bp := c.held
+	c.held = nil
+	if bp == nil {
+		bp = recvBufPool.Get().(*[]byte)
+	}
 	if cap(*bp) < int(size) {
 		*bp = make([]byte, size)
 	}
@@ -266,6 +436,29 @@ func (c *Conn) Recv() (Frame, error) {
 		}
 		return Frame{}, err
 	}
+	if c.recvWire == 0 {
+		if err := c.sniffWire(buf); err != nil {
+			putBuf()
+			c.recvBroken = true
+			return Frame{}, err
+		}
+	}
+	if c.recvWire == 'b' {
+		f, err := c.decodeBinary(buf)
+		if err != nil {
+			putBuf()
+			c.recvBroken = true
+			return Frame{}, err
+		}
+		// Keep the buffer: the frame's byte views alias it. It is
+		// recycled on the next Recv unless the caller takes it.
+		c.held = bp
+		if err := f.Validate(); err != nil {
+			c.recvBroken = true
+			return Frame{}, err
+		}
+		return f, nil
+	}
 	c.recvSrc.buf, c.recvSrc.pos = buf, 0
 	var f Frame
 	err = c.dec.Decode(&f)
@@ -280,4 +473,32 @@ func (c *Conn) Recv() (Frame, error) {
 		return Frame{}, err
 	}
 	return f, nil
+}
+
+// sniffWire pins the connection's receive codec from the first frame's
+// payload. A gob message can never start with the binary magic byte (see
+// binary.go), so one byte decides. WireGob connections refuse binary
+// frames with a typed *WireVersionError, as does any frame advertising a
+// wire version this build does not speak — the server turns both into a
+// protocol-error reply instead of a dropped connection.
+func (c *Conn) sniffWire(buf []byte) error {
+	if len(buf) >= 1 && buf[0] == binMagic {
+		var ver byte
+		if len(buf) >= 2 {
+			ver = buf[1]
+		}
+		if c.wire == WireGob {
+			return &WireVersionError{Version: ver, Refused: true}
+		}
+		if ver != BinaryWireVersion {
+			return &WireVersionError{Version: ver}
+		}
+		c.recvWire = 'b'
+		if c.wire == WireAuto {
+			c.sendBinary = true
+		}
+		return nil
+	}
+	c.recvWire = 'g'
+	return nil
 }

@@ -32,24 +32,68 @@ func FuzzFrameCodec(f *testing.F) {
 			f.Fatal(err)
 		}
 		f.Add(buf.Bytes())
+		// The same frame in the binary codec, so the corpus explores both
+		// wire formats from the start.
+		var bbuf bytes.Buffer
+		if err := NewConnWire(&bbuf, WireBinary).Send(fr); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(bbuf.Bytes())
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}) // huge uvarint
 	f.Add([]byte{0x05, 0x01, 0x02})                                           // truncated payload
 	f.Add([]byte{0x00})                                                       // zero-length frame
+	f.Add([]byte{0x04, binMagic, BinaryWireVersion, binKindHello, 0x00})      // short binary hello
+	f.Add([]byte{0x02, binMagic, 0x07})                                       // unknown binary version
+	f.Add([]byte{0x03, binMagic, BinaryWireVersion, 0x63})                    // unknown binary kind
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		const limit = 1 << 16
-		c := NewConnLimit(struct {
+		c := NewConnWireLimit(struct {
 			io.Reader
 			io.Writer
-		}{bytes.NewReader(data), io.Discard}, limit)
+		}{bytes.NewReader(data), io.Discard}, WireAuto, limit)
 		fr, err := c.Recv()
 		if err != nil {
 			return // malformed input must error, not panic
 		}
 		if err := fr.Validate(); err != nil {
 			t.Fatalf("Recv returned an invalid frame: %v", err)
+		}
+		// A binary frame's payload aliases the connection's scratch; copy
+		// it out so the replays below can't invalidate it.
+		fr = cloneFrame(fr)
+
+		// Cross-codec semantic equality: whatever decoded — from either
+		// codec — must round-trip through gob AND through the binary codec
+		// to frames that compare equal. This pins the two codecs to one
+		// semantic model of Frame.
+		crossCheck := func(w Wire) Frame {
+			var buf bytes.Buffer
+			cc := NewConnWireLimit(&buf, w, limit)
+			if err := cc.Send(fr); err != nil {
+				t.Fatalf("%s re-encode failed: %v", w, err)
+			}
+			got, err := NewConnWireLimit(struct {
+				io.Reader
+				io.Writer
+			}{&buf, io.Discard}, WireAuto, limit).Recv()
+			if err != nil {
+				t.Fatalf("%s re-decode failed: %v", w, err)
+			}
+			return cloneFrame(got)
+		}
+		viaGob := crossCheck(WireGob)
+		viaBin := crossCheck(WireBinary)
+		if !framesEqual(fr, viaGob) {
+			t.Fatalf("gob round trip changed the frame:\nin  %+v\nout %+v", fr, viaGob)
+		}
+		if !framesEqual(fr, viaBin) {
+			t.Fatalf("binary round trip changed the frame:\nin  %+v\nout %+v", fr, viaBin)
+		}
+		if !framesEqual(viaGob, viaBin) {
+			t.Fatalf("codecs disagree after round trip:\ngob    %+v\nbinary %+v", viaGob, viaBin)
 		}
 		// Round trip: what decoded must re-encode and decode identically
 		// at the kind level.

@@ -1,0 +1,83 @@
+package offload
+
+import (
+	"bytes"
+	"encoding/hex"
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"rattrap/internal/host"
+)
+
+// goldenFrames is the canonical frame sequence pinned by
+// testdata/gob_stream.golden. The golden bytes were captured from the
+// pre-binary-codec release, so this test proves the gob fallback stayed
+// byte-identical across the codec split: a legacy client sees exactly
+// the wire it always saw.
+func goldenFrames() []Frame {
+	return []Frame{
+		{Kind: KindHello, Hello: &Hello{DeviceID: "phone-1"}},
+		{Kind: KindExec, Exec: &ExecRequest{
+			DeviceID: "phone-1", AID: "a1b2c3d4", App: "Linpack", Method: "solve",
+			Seq: 7, Params: []byte{0x01, 0x02, 0x03, 0xfe}, ParamBytes: 500,
+			FileBytes: 122 * host.KB, RoundTrips: 3, InteractBytes: 64,
+		}},
+		{Kind: KindNeedCode, NeedCode: &NeedCode{Seq: 7, AID: "a1b2c3d4"}},
+		{Kind: KindNeedCode},
+		{Kind: KindCode, Code: &CodePush{AID: "a1b2c3d4", App: "Linpack", Size: 152 * host.KB, Seq: 7}},
+		{Kind: KindResult, Result: &Result{Output: "n=64 residual=1.08e-13", ResultBytes: 550, Seq: 7}},
+		{Kind: KindResult, Result: &Result{Err: "queue full", Code: CodeOverloaded, RetryAfterMs: 450, Seq: 8}},
+	}
+}
+
+func readGolden(t *testing.T) []byte {
+	t.Helper()
+	raw, err := os.ReadFile("testdata/gob_stream.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := hex.DecodeString(strings.TrimSpace(string(raw)))
+	if err != nil {
+		t.Fatalf("golden file is not hex: %v", err)
+	}
+	return want
+}
+
+// TestGobWireGolden encodes the canonical sequence on one connection and
+// compares the stream byte-for-byte with the checked-in golden, then
+// decodes the golden bytes back and compares frames semantically.
+func TestGobWireGolden(t *testing.T) {
+	want := readGolden(t)
+
+	t.Run("encode", func(t *testing.T) {
+		var buf bytes.Buffer
+		c := NewConn(&buf)
+		for i, f := range goldenFrames() {
+			if err := c.Send(f); err != nil {
+				t.Fatalf("frame %d (%s): %v", i, f.Kind, err)
+			}
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Fatalf("gob stream diverged from the pre-codec-split golden:\n got %d bytes: %x\nwant %d bytes: %x",
+				buf.Len(), buf.Bytes(), len(want), want)
+		}
+	})
+
+	t.Run("decode", func(t *testing.T) {
+		c := NewConn(struct {
+			io.Reader
+			io.Writer
+		}{bytes.NewReader(want), io.Discard})
+		for i, f := range goldenFrames() {
+			got, err := c.Recv()
+			if err != nil {
+				t.Fatalf("frame %d (%s): %v", i, f.Kind, err)
+			}
+			if !framesEqual(f, got) {
+				t.Fatalf("frame %d (%s): decoded mismatch:\nwant %+v\ngot  %+v", i, f.Kind, f, got)
+			}
+		}
+	})
+}

@@ -17,6 +17,7 @@ import (
 	"rattrap/internal/host"
 	"rattrap/internal/obs"
 	"rattrap/internal/sim"
+	"rattrap/internal/workload"
 )
 
 // ControlBytes is the modeled size of per-request control messages
@@ -50,7 +51,24 @@ type ExecRequest struct {
 	// connection owns its own span; in-process calls (simulations, the
 	// realtime server handing a decoded request to core) pass it through.
 	span *obs.Span
+
+	// pre carries an ahead-of-time execution of the request's task (see
+	// workload.Precomputed). Unexported for the same reason as span: it is
+	// cloud-internal and must never change the wire encoding. The realtime
+	// server runs the real computation on the request's own goroutine —
+	// outside the serialized engine — and the runtime returns this result
+	// instead of recomputing under the engine lock.
+	pre *workload.Precomputed
 }
+
+// SetPrecomputed attaches an ahead-of-time execution outcome for the
+// request's task. A nil value (the default) means the runtime computes
+// for real at dispatch.
+func (r *ExecRequest) SetPrecomputed(p *workload.Precomputed) { r.pre = p }
+
+// Precomputed returns the attached outcome, nil when the request has not
+// been pre-executed.
+func (r ExecRequest) Precomputed() *workload.Precomputed { return r.pre }
 
 // SetSpan attaches an observability span to the request. The platform
 // records dispatcher/warehouse/runtime sub-stages into it. A nil span

@@ -1,8 +1,6 @@
 package realtime
 
 import (
-	"bytes"
-	"encoding/gob"
 	"net"
 	"testing"
 	"time"
@@ -41,17 +39,11 @@ func newBenchClient(b *testing.B, addr string) *benchClient {
 	}
 }
 
-// linpackParams encodes an order-n Linpack system (gob field names match
-// the app's parameter struct).
+// linpackParams encodes an order-n Linpack system in the flat param
+// format the zero-alloc path decodes.
 func linpackParams(b *testing.B, n int) []byte {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(struct {
-		Seed int64
-		N    int
-	}{Seed: 7, N: n}); err != nil {
-		b.Fatal(err)
-	}
-	return buf.Bytes()
+	b.Helper()
+	return workload.EncodeLinpackParams(7, n)
 }
 
 // tinyParams is a deliberately small system: the real factorization costs
@@ -144,7 +136,7 @@ const (
 	throughputOrder = 64
 )
 
-func benchmarkThroughput(b *testing.B, depth int) {
+func benchmarkThroughput(b *testing.B, depth int, wire offload.Wire) {
 	cfg := core.DefaultConfig(core.KindRattrap)
 	cfg.IdleTimeout = 0
 	srv := NewServerOpts(cfg, throughputSpeed, nil, Options{PipelineDepth: depth})
@@ -164,7 +156,7 @@ func benchmarkThroughput(b *testing.B, depth int) {
 	app, _ := workload.ByName(workload.NameLinpack)
 	aid := offload.AID(app.Name(), app.CodeSize())
 	params := linpackParams(b, throughputOrder)
-	pc := offload.NewPipelineClient(offload.NewConn(conn), depth,
+	pc := offload.NewPipelineClient(offload.NewConnWire(conn, wire), depth,
 		func(need offload.NeedCode) (offload.CodePush, error) {
 			return offload.CodePush{AID: aid, App: app.Name(), Size: app.CodeSize()}, nil
 		},
@@ -202,10 +194,16 @@ func benchmarkThroughput(b *testing.B, depth int) {
 }
 
 // BenchmarkServerThroughput measures closed-loop requests/sec over one
-// connection: serial (depth 1) versus pipelined (depth 8). Pipelining
-// overlaps the dispatch injections and wire I/O of up to 8 requests, so
-// depth 8 should sustain a multiple of the serial request rate.
+// connection: serial (depth 1) versus pipelined (depth 8), on each wire
+// codec. Pipelining overlaps the dispatch injections and wire I/O of up
+// to 8 requests, so depth 8 should sustain a multiple of the serial
+// request rate; the binary codec strips the gob reflection and per-frame
+// allocation off the same path.
 func BenchmarkServerThroughput(b *testing.B) {
-	b.Run("depth1", func(b *testing.B) { benchmarkThroughput(b, 1) })
-	b.Run("depth8", func(b *testing.B) { benchmarkThroughput(b, 8) })
+	for _, wire := range []offload.Wire{offload.WireGob, offload.WireBinary} {
+		b.Run(string(wire), func(b *testing.B) {
+			b.Run("depth1", func(b *testing.B) { benchmarkThroughput(b, 1, wire) })
+			b.Run("depth8", func(b *testing.B) { benchmarkThroughput(b, 8, wire) })
+		})
+	}
 }

@@ -32,6 +32,7 @@ package realtime
 import (
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"rattrap/internal/sim"
@@ -45,12 +46,81 @@ type clock interface {
 	Timer(d time.Duration) (<-chan time.Time, func())
 }
 
-type realClock struct{}
+// syncSleepMax is the longest wait realClock serves with a blocking
+// nanosleep on the caller's goroutine instead of a Go timer. Go's timer
+// machinery wakes through the netpoller, whose granularity on shared
+// vCPUs overshoots sub-millisecond deadlines by 0.2–1 ms — more than the
+// deadline itself for the gaps the pacer plans between pipelined
+// completions. A raw nanosleep rides the kernel's hrtimers and comes
+// back in tens of microseconds. Past this threshold the relative error
+// of the timer path is small and the loop stays interruptible.
+const syncSleepMax = 2 * time.Millisecond
 
-func (realClock) Now() time.Time { return time.Now() }
-func (realClock) Timer(d time.Duration) (<-chan time.Time, func()) {
-	t := time.NewTimer(d)
-	return t.C, func() { t.Stop() }
+// realClock reuses one timer across rounds — the pacer plans a sleep per
+// event, and a fresh time.Timer each round puts two heap objects on the
+// steady-state request path. Reuse makes Timer single-owner: only the
+// driver loop may call it, and never with a previous round's timer still
+// armed (the loop always receives or cancels before re-planning). A tick
+// that races cancel can leave a stale value in the channel; the drains
+// below sweep it, and at worst the loop wakes early once and re-plans,
+// which is harmless by design.
+//
+// Short waits (≤ syncSleepMax) are served synchronously: Timer blocks in
+// a raw nanosleep right here, on the loop's goroutine, then returns a
+// channel that already holds the tick. The loop was about to park on
+// that channel anyway, so blocking it early costs nothing; what it buys
+// is the kernel's hrtimer precision instead of the netpoller's. The
+// trade is interruptibility — a stop or wake arriving mid-sleep waits it
+// out — which syncSleepMax bounds below the overshoot the netpoller path
+// imposed on every short wake regardless. The idle case is untouched: no
+// pending event, no Timer call, zero CPU.
+type realClock struct {
+	t *time.Timer
+	// tick carries the pre-fired tick of a synchronous sleep; capacity 1,
+	// swept by cancel, so at most one stale value can exist and the loop
+	// shrugs off a spurious wake by re-planning.
+	tick chan time.Time
+}
+
+func (c *realClock) Now() time.Time { return time.Now() }
+
+func (c *realClock) Timer(d time.Duration) (<-chan time.Time, func()) {
+	if d <= syncSleepMax {
+		ts := syscall.NsecToTimespec(int64(d))
+		_ = syscall.Nanosleep(&ts, nil)
+		if c.tick == nil {
+			c.tick = make(chan time.Time, 1)
+		}
+		select {
+		case c.tick <- time.Now():
+		default:
+		}
+		return c.tick, func() {
+			select {
+			case <-c.tick:
+			default:
+			}
+		}
+	}
+	if c.t == nil {
+		c.t = time.NewTimer(d)
+	} else {
+		if !c.t.Stop() {
+			select {
+			case <-c.t.C:
+			default:
+			}
+		}
+		c.t.Reset(d)
+	}
+	return c.t.C, func() {
+		if !c.t.Stop() {
+			select {
+			case <-c.t.C:
+			default:
+			}
+		}
+	}
 }
 
 // Driver advances an engine in step with the wall clock. All interaction
@@ -89,7 +159,7 @@ func NewDriver(e *sim.Engine, speed float64) *Driver {
 	return &Driver{
 		e:     e,
 		speed: speed,
-		clk:   realClock{},
+		clk:   &realClock{},
 		wake:  make(chan struct{}, 1),
 		stop:  make(chan struct{}),
 		done:  make(chan struct{}),

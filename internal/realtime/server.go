@@ -15,6 +15,7 @@ import (
 	"rattrap/internal/obs"
 	"rattrap/internal/offload"
 	"rattrap/internal/sim"
+	"rattrap/internal/workload"
 )
 
 // Options tunes the server's robustness envelope. Zero values select the
@@ -53,6 +54,12 @@ type Options struct {
 	// on admission it stops reading frames (including code pushes) until a
 	// slot frees.
 	PipelineDepth int
+	// Wire selects the frame codec policy for accepted connections.
+	// The default (offload.WireAuto) sniffs each connection's first frame
+	// and mirrors the client's codec, so binary and legacy gob clients
+	// coexist. offload.WireGob pins the server to gob and refuses binary
+	// hellos with a typed protocol-error frame.
+	Wire offload.Wire
 	// Shards is how many platform shards the server runs (default 1).
 	// Each shard is a full single-node platform — its own engine, pacing
 	// driver, runtime pool, warehouse and admission bounds — and requests
@@ -91,6 +98,9 @@ func (o Options) withDefaults() Options {
 	if o.Shards < 1 {
 		o.Shards = 1
 	}
+	if o.Wire != offload.WireGob && o.Wire != offload.WireBinary {
+		o.Wire = offload.WireAuto
+	}
 	return o
 }
 
@@ -113,6 +123,14 @@ type Server struct {
 	lat    *metrics.LatencyHistogram
 	opts   Options
 	dedup  *dedupCache
+
+	// wreg executes workloads ahead of dispatch, on the request's own
+	// goroutine. Apps are deterministic and their shared state is
+	// read-only after construction, so one registry serves all
+	// connections' workers concurrently; the engine-injected dispatch
+	// then returns the precomputed result instead of computing under the
+	// serialized driver lock.
+	wreg *workload.Registry
 
 	// Observability: the server always carries a registry (it is the
 	// platform's observable entry point). Counters are pre-resolved here so
@@ -190,6 +208,7 @@ func newServer(cfg core.Config, speed float64, logger *log.Logger, ticker bool, 
 		lat:        metrics.NewLatencyHistogram(),
 		opts:       opts,
 		dedup:      dedup,
+		wreg:       workload.NewRegistry(),
 		reg:        reg,
 		cRequests:  reg.Counter("server.requests"),
 		cDedupHits: reg.Counter("server.dedup_hits"),
@@ -335,6 +354,16 @@ func (s *Server) send(conn net.Conn, c *offload.Conn, f offload.Frame) error {
 	return c.Send(f)
 }
 
+// sendResult writes a result frame under the configured write deadline,
+// without building a Frame (the reply hot path; see Conn.SendResult).
+func (s *Server) sendResult(conn net.Conn, c *offload.Conn, r *offload.Result) error {
+	if d := s.opts.WriteTimeout; d > 0 {
+		conn.SetWriteDeadline(time.Now().Add(d))
+		defer conn.SetWriteDeadline(time.Time{})
+	}
+	return c.SendResult(r)
+}
+
 // sendProtocolError tells the device why the server is hanging up, on a
 // best-effort basis, before the connection closes. Without this frame a
 // misbehaving client sees only a reset and retries the same violation.
@@ -344,13 +373,22 @@ func (s *Server) sendProtocolError(conn net.Conn, c *offload.Conn, msg string) {
 	}})
 }
 
-// handle speaks the protocol with one device. After the hello it hands
-// the connection to a connHandler, which pipelines up to PipelineDepth
-// requests concurrently.
+// handle speaks the protocol with one device. The hello doubles as codec
+// negotiation: the connection sniffs the client's codec from the first
+// frame and (under WireAuto) mirrors it for replies. A hello the server
+// cannot speak — unknown binary wire version, or a binary hello against a
+// gob-pinned server — is answered with a typed protocol-error frame in
+// gob (the codec every client decodes) rather than a silent hangup.
+// After the hello the connection is handed to a connHandler, which
+// pipelines up to PipelineDepth requests concurrently.
 func (s *Server) handle(conn net.Conn) error {
-	c := offload.NewConnLimit(conn, s.opts.MaxFrame)
+	c := offload.NewConnWireLimit(conn, s.opts.Wire, s.opts.MaxFrame)
 	hello, err := s.recv(conn, c, s.opts.ReadTimeout)
 	if err != nil {
+		var wve *offload.WireVersionError
+		if errors.As(err, &wve) {
+			s.sendProtocolError(conn, c, wve.Error())
+		}
 		return err
 	}
 	if hello.Kind != offload.KindHello {
@@ -359,7 +397,7 @@ func (s *Server) handle(conn net.Conn) error {
 		return errors.New(msg)
 	}
 	dev := hello.Hello.DeviceID
-	s.log.Printf("device %s connected", dev)
+	s.log.Printf("device %s connected (wire %s)", dev, c.WireName())
 	h := &connHandler{
 		s:          s,
 		conn:       conn,
@@ -375,8 +413,13 @@ func (s *Server) handle(conn net.Conn) error {
 }
 
 // outMsg is one frame queued for the connection's writer goroutine.
+// Results travel by value (res/isResult) so the per-reply *Result never
+// escapes to the heap; other frames (NEED_CODE, protocol errors) use the
+// frame field.
 type outMsg struct {
-	frame offload.Frame
+	frame    offload.Frame
+	res      offload.Result
+	isResult bool
 	// start, when set, marks the frame as a request's result: on a
 	// successful send the writer observes the wall-clock latency, counts
 	// the result, and folds span (if any) into server.stage.*. Results
@@ -447,18 +490,35 @@ func (h *connHandler) decodeLoop() error {
 		}
 		switch f.Kind {
 		case offload.KindExec:
+			req := *f.Exec
+			req.DeviceID = h.dev
+			start := time.Now()
+			s.cRequests.Inc()
+			key := dedupKey{dev: h.dev, aid: req.AID, seq: req.Seq}
+			if res, ok := s.dedup.lookup(key); ok {
+				// Idempotent retry: the result was computed on a previous
+				// attempt and the reply was lost. Answer inline from the
+				// window — no admission token, no worker, no re-execution.
+				s.cDedupHits.Inc()
+				h.out <- outMsg{res: res, isResult: true, start: start}
+				continue
+			}
+			// On a binary connection req.Params aliases the codec's read
+			// buffer; take ownership so the next Recv cannot recycle it
+			// under the worker. The worker releases it when done.
+			pin := h.c.TakeRecvBuf()
 			select {
 			case h.sem <- struct{}{}:
 			case <-s.closedCh:
+				pin.Release()
 				return errors.New("realtime: server shutting down")
 			}
 			h.beginRequest()
-			req := *f.Exec
-			start := time.Now()
 			h.workers.Add(1)
 			go func() {
 				defer h.workers.Done()
 				defer h.endRequest()
+				defer pin.Release()
 				h.serveRequest(req, start)
 			}()
 		case offload.KindCode:
@@ -517,14 +577,30 @@ func (h *connHandler) endRequest() {
 // writer is the connection's single sender. On the first send failure it
 // records the error, tears the connection down, and drains (discarding)
 // the rest of the queue so workers never block on a dead writer.
+//
+// Sends coalesce: the connection buffers framed replies and the writer
+// flushes only when the queue goes empty, so a burst of pipelined results
+// leaves in one syscall instead of one per reply. Latency is observed at
+// enqueue-to-kernel time as before; the flush it rides on is at most the
+// encode time of the replies queued behind it away.
 func (h *connHandler) writer() {
 	defer close(h.writerDone)
+	h.c.CoalesceSends()
 	broken := false
 	for m := range h.out {
 		if broken {
 			continue
 		}
-		if err := h.s.send(h.conn, h.c, m.frame); err != nil {
+		var err error
+		if m.isResult {
+			err = h.s.sendResult(h.conn, h.c, &m.res)
+		} else {
+			err = h.s.send(h.conn, h.c, m.frame)
+		}
+		if err == nil && len(h.out) == 0 {
+			err = h.c.FlushSend()
+		}
+		if err != nil {
 			h.fail(err)
 			broken = true
 			continue
@@ -540,6 +616,11 @@ func (h *connHandler) writer() {
 			h.fail(errors.New(m.fatal))
 			broken = true
 		}
+	}
+	if !broken {
+		// The queue can close between a skipped flush and the next
+		// receive; nothing pending survives past the loop.
+		_ = h.c.FlushSend()
 	}
 }
 
@@ -680,16 +761,7 @@ func errorResult(err error) offload.Result {
 // the connection down via fail, matching the serial server's behavior.
 func (h *connHandler) serveRequest(req offload.ExecRequest, start time.Time) {
 	s := h.s
-	req.DeviceID = h.dev
-	s.cRequests.Inc()
 	key := dedupKey{dev: h.dev, aid: req.AID, seq: req.Seq}
-	if res, ok := s.dedup.lookup(key); ok {
-		// Idempotent retry: the result was computed on a previous attempt
-		// and the reply was lost. Answer from the window, don't re-execute.
-		s.cDedupHits.Inc()
-		h.out <- outMsg{frame: resultFrame(res), start: start}
-		return
-	}
 	// Attach a request-scoped span: the platform records its dispatcher,
 	// warehouse and runtime sub-stages (virtual time) into it, and the span
 	// is folded into server.stage.* histograms once the result is sent.
@@ -699,6 +771,14 @@ func (h *connHandler) serveRequest(req offload.ExecRequest, start time.Time) {
 	// so no lock is needed.
 	sp := obs.NewSpan()
 	req.SetSpan(sp)
+	// Run the real computation here, on this worker goroutine, before
+	// entering the serialized engine: apps are deterministic in the task
+	// parameters, so the dispatch inside the driver charges the modeled
+	// virtual cost and returns this result without holding every other
+	// request's engine interaction hostage to the actual CPU work. This
+	// also consumes req.Params before the worker's read-buffer pin could
+	// matter to anyone downstream of the engine.
+	req.SetPrecomputed(s.precompute(&req))
 	// Route the request to the shard owning its AID; every engine
 	// interaction for this request happens on that shard's driver.
 	shardID, shard := s.shardFor(req.AID)
@@ -724,7 +804,7 @@ func (h *connHandler) serveRequest(req offload.ExecRequest, start time.Time) {
 	if prepErr != nil {
 		r := errorResult(s.shardErr(shardID, prepErr))
 		r.Seq = req.Seq
-		h.out <- outMsg{frame: resultFrame(r), start: start, span: sp}
+		h.out <- outMsg{res: r, isResult: true, start: start, span: sp}
 		return
 	}
 	if fast {
@@ -757,7 +837,7 @@ func (h *connHandler) serveRequest(req offload.ExecRequest, start time.Time) {
 		if pushErr != nil {
 			r := errorResult(s.shardErr(shardID, pushErr))
 			r.Seq = req.Seq
-			h.out <- outMsg{frame: resultFrame(r), start: start, span: sp}
+			h.out <- outMsg{res: r, isResult: true, start: start, span: sp}
 			return
 		}
 
@@ -787,11 +867,22 @@ func (h *connHandler) finishRequest(key dedupKey, seq int, res offload.Result, e
 	if execErr == nil {
 		h.s.dedup.store(key, res)
 	}
-	h.out <- outMsg{frame: resultFrame(res), start: start, span: sp}
+	h.out <- outMsg{res: res, isResult: true, start: start, span: sp}
 }
 
-func resultFrame(r offload.Result) offload.Frame {
-	return offload.Frame{Kind: offload.KindResult, Result: &r}
+// precompute executes the request's task for real, ahead of its engine
+// dispatch, and packages the outcome for the runtime's short-circuit
+// (workload.Registry.Execute). It runs on the request's worker goroutine,
+// concurrently with every other request — the registry's apps are
+// read-only after construction.
+func (s *Server) precompute(req *offload.ExecRequest) *workload.Precomputed {
+	t := workload.Task{
+		App: req.App, Method: req.Method, Seq: req.Seq, Params: req.Params,
+		ParamBytes: req.ParamBytes, FileBytes: req.FileBytes,
+		RoundTrips: req.RoundTrips, InteractBytes: req.InteractBytes,
+	}
+	m, err := s.wreg.Execute(t)
+	return &workload.Precomputed{Metrics: m, Err: err}
 }
 
 // dedupKey identifies a request for the idempotency window. A comparable

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strconv"
+	"sync"
 
 	"rattrap/internal/host"
 )
@@ -51,6 +53,87 @@ func (l *Linpack) NewTask(rng *rand.Rand, seq int) Task {
 	}
 }
 
+// lpFill is the memoized expansion of one (seed, n) input system: the
+// n×n matrix followed by the right-hand side, in PRNG draw order. The
+// expansion is a pure function of the seed — reseeding the generator and
+// redrawing n²+n values costs ~40 µs per request at n=64, all of it
+// spent reproducing floats this snapshot already holds. Entries are
+// immutable after insertion; Execute copies out of them.
+type lpFill struct {
+	seed int64
+	n    int
+	data []float64 // len n*n+n: matrix (row-major), then b
+}
+
+// The fill cache is a tiny move-to-front LRU. Offload traffic repeats
+// (seed, n) pairs heavily — a device retrying, a benchmark's fixed
+// system — and lpFillCacheMax bounds it to a few snapshots. Systems
+// larger than lpFillCacheMaxOrder skip the cache entirely so one
+// n=2000 request cannot pin ~32 MB.
+const (
+	lpFillCacheMax      = 8
+	lpFillCacheMaxOrder = 256
+)
+
+var (
+	lpFillMu sync.Mutex
+	lpFills  []*lpFill
+)
+
+// lpFillFor returns the fill snapshot for (seed, n), generating and
+// caching it on first use. The returned slice is shared and must only
+// be read.
+func lpFillFor(seed int64, n int) []float64 {
+	if n > lpFillCacheMaxOrder {
+		return lpGenFill(seed, n)
+	}
+	lpFillMu.Lock()
+	defer lpFillMu.Unlock()
+	for i, f := range lpFills {
+		if f.seed == seed && f.n == n {
+			if i > 0 {
+				copy(lpFills[1:i+1], lpFills[:i])
+				lpFills[0] = f
+			}
+			return f.data
+		}
+	}
+	f := &lpFill{seed: seed, n: n, data: lpGenFill(seed, n)}
+	if len(lpFills) < lpFillCacheMax {
+		lpFills = append(lpFills, nil)
+	}
+	copy(lpFills[1:], lpFills)
+	lpFills[0] = f
+	return f.data
+}
+
+// lpGenFill draws the system exactly as the pre-cache fill loops did:
+// n² matrix elements row by row, then the n-element right-hand side,
+// every value rng.Float64()*2-1 off a fresh source.
+func lpGenFill(seed int64, n int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]float64, n*n+n)
+	for i := range data {
+		data[i] = rng.Float64()*2 - 1
+	}
+	return data
+}
+
+// lpScratch is the per-solve working set: one contiguous float backing
+// (A, the original copy of A, b and x) plus the row-header slices. The
+// pool recycles them across solves — the realtime server runs a solve on
+// every warehouse-hit request, and a fresh 2·n²+2·n float allocation per
+// request is both allocs/op and a mandatory memclr of ~64 KB the fill
+// loop immediately overwrites. Every cell is written before it is read
+// (the fill assigns all of A and b, x is copied from b, row headers are
+// reassigned), so recycled contents can never leak between solves.
+type lpScratch struct {
+	back []float64
+	rows [][]float64
+}
+
+var lpPool = sync.Pool{New: func() any { return new(lpScratch) }}
+
 // Execute factorizes A, solves Ax=b, and verifies the residual.
 func (l *Linpack) Execute(t Task) (Metrics, error) {
 	var p linpackParams
@@ -61,31 +144,42 @@ func (l *Linpack) Execute(t Task) (Metrics, error) {
 		return Metrics{}, fmt.Errorf("linpack: order %d out of range", p.N)
 	}
 	n := p.N
-	rng := rand.New(rand.NewSource(p.Seed))
-	a := make([][]float64, n)
-	orig := make([][]float64, n)
+	fill := lpFillFor(p.Seed, n)
+	scratch := lpPool.Get().(*lpScratch)
+	defer lpPool.Put(scratch)
+	if need := 2*n*n + 2*n; cap(scratch.back) < need {
+		scratch.back = make([]float64, need)
+	}
+	if cap(scratch.rows) < 2*n {
+		scratch.rows = make([][]float64, 2*n)
+	}
+	back, rows := scratch.back, scratch.rows
+	aBack := back[0 : n*n : n*n]
+	origBack := back[n*n : 2*n*n : 2*n*n]
+	b := back[2*n*n : 2*n*n+n : 2*n*n+n]
+	x := back[2*n*n+n : 2*n*n+2*n : 2*n*n+2*n]
+	a := rows[0:n:n]
+	orig := rows[n : 2*n : 2*n]
+	copy(aBack, fill[:n*n])
+	copy(origBack, fill[:n*n])
+	copy(b, fill[n*n:])
+	copy(x, b)
 	for i := range a {
-		a[i] = make([]float64, n)
-		orig[i] = make([]float64, n)
-		for j := range a[i] {
-			v := rng.Float64()*2 - 1
-			a[i][j] = v
-			orig[i][j] = v
-		}
+		a[i] = aBack[i*n : (i+1)*n : (i+1)*n]
+		orig[i] = origBack[i*n : (i+1)*n : (i+1)*n]
 	}
-	b := make([]float64, n)
-	for i := range b {
-		b[i] = rng.Float64()*2 - 1
-	}
-	x := append([]float64(nil), b...)
 
-	// LU with partial pivoting, in place, solving as we go.
+	// LU with partial pivoting, in place, solving as we go. Row slices
+	// are hoisted out of the inner loops (bounds-check elimination); the
+	// arithmetic — values, order, pivot choice — is bit-identical to the
+	// textbook nested-index form.
 	for k := 0; k < n; k++ {
 		// Pivot.
 		piv := k
+		maxv := math.Abs(a[k][k])
 		for i := k + 1; i < n; i++ {
-			if math.Abs(a[i][k]) > math.Abs(a[piv][k]) {
-				piv = i
+			if v := math.Abs(a[i][k]); v > maxv {
+				piv, maxv = i, v
 			}
 		}
 		if a[piv][k] == 0 {
@@ -95,30 +189,52 @@ func (l *Linpack) Execute(t Task) (Metrics, error) {
 			a[piv], a[k] = a[k], a[piv]
 			x[piv], x[k] = x[k], x[piv]
 		}
-		// Eliminate.
+		// Eliminate. a[k] is only read below row k, so its row slice and
+		// diagonal are loop-invariant after the swap.
+		ak := a[k]
+		akk := ak[k]
+		xk := x[k]
+		rowK := ak[k+1 : n]
 		for i := k + 1; i < n; i++ {
-			f := a[i][k] / a[k][k]
-			a[i][k] = f
-			for j := k + 1; j < n; j++ {
-				a[i][j] -= f * a[k][j]
+			ai := a[i]
+			f := ai[k] / akk
+			ai[k] = f
+			// 4-way unroll of rowA[j] -= f*rowK[j]. Each element's
+			// update is independent and unchanged, so results stay
+			// bit-identical to the rolled loop; the unroll just drops
+			// loop overhead on the O(n³) kernel.
+			rowA := ai[k+1 : n]
+			rowA = rowA[:len(rowK)]
+			j := 0
+			for ; j+3 < len(rowK); j += 4 {
+				rowA[j] -= f * rowK[j]
+				rowA[j+1] -= f * rowK[j+1]
+				rowA[j+2] -= f * rowK[j+2]
+				rowA[j+3] -= f * rowK[j+3]
 			}
-			x[i] -= f * x[k]
+			for ; j < len(rowK); j++ {
+				rowA[j] -= f * rowK[j]
+			}
+			x[i] -= f * xk
 		}
 	}
 	// Back substitution.
 	for i := n - 1; i >= 0; i-- {
+		ai := a[i]
+		xi := x[i]
 		for j := i + 1; j < n; j++ {
-			x[i] -= a[i][j] * x[j]
+			xi -= ai[j] * x[j]
 		}
-		x[i] /= a[i][i]
+		x[i] = xi / ai[i]
 	}
 	// Residual check against the original system.
 	var resid, norm float64
 	for i := 0; i < n; i++ {
+		oi := orig[i]
 		sum := -b[i]
-		for j := 0; j < n; j++ {
-			sum += orig[i][j] * x[j]
-			norm += math.Abs(orig[i][j])
+		for j := range oi {
+			sum += oi[j] * x[j]
+			norm += math.Abs(oi[j])
 		}
 		resid += math.Abs(sum)
 	}
@@ -129,10 +245,18 @@ func (l *Linpack) Execute(t Task) (Metrics, error) {
 
 	nf := float64(n)
 	flops := int64(2.0/3.0*nf*nf*nf + 2*nf*nf)
+	// Same string fmt.Sprintf("n=%d residual=%.2e", ...) renders, built
+	// with strconv to keep the interface boxing and verb parsing off the
+	// hot path ('e' with two digits is exactly what %.2e prints).
+	out := make([]byte, 0, 32)
+	out = append(out, "n="...)
+	out = strconv.AppendInt(out, int64(n), 10)
+	out = append(out, " residual="...)
+	out = strconv.AppendFloat(out, relResid, 'e', 2, 64)
 	return Metrics{
 		Work:        host.Work(float64(flops) * linpackOpsPerFlop / 1e6),
 		ResultBytes: linpackResultBytes,
 		RealOps:     flops,
-		Output:      fmt.Sprintf("n=%d residual=%.2e", n, relResid),
+		Output:      string(out),
 	}, nil
 }

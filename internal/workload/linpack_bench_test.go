@@ -1,0 +1,23 @@
+package workload
+
+import "testing"
+
+func BenchmarkLinpackExecute(b *testing.B) {
+	l := NewLinpack()
+	task := Task{App: NameLinpack, Method: "solve", Params: EncodeLinpackParams(7, 64)}
+	want, err := l.Execute(task)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := l.Execute(task)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.Output != want.Output {
+			b.Fatalf("output drifted: %q vs %q", m.Output, want.Output)
+		}
+	}
+}
