@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz lint bench bench-allocs bench-realtime bench-throughput bench-cluster bench-faults bench-stages ci clean
+.PHONY: all build vet test race fuzz lint bench bench-allocs bench-realtime bench-throughput bench-cluster bench-autoscale bench-faults bench-stages ci clean
 
 all: ci
 
@@ -28,6 +28,13 @@ lint: vet
 		| grep -v '_test.go' | grep -v '^internal/core/db\.go:' || true); \
 	if [ -n "$$bad" ]; then \
 		echo "lifecycle state mutated outside internal/core/db.go:"; \
+		echo "$$bad"; exit 1; \
+	fi
+	@bad=$$(grep -rn -E '\.(bootSlot|StopRuntime)\(' --include='*.go' internal/ cmd/ \
+		| grep -v '_test.go' \
+		| grep -v -E '^internal/core/(core|dispatch|autoscaler|failuretracker)\.go:' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "pool capacity mutated outside the core lifecycle owners (use BootRuntime/CordonRuntime):"; \
 		echo "$$bad"; exit 1; \
 	fi
 
@@ -59,6 +66,12 @@ bench-throughput:
 # fails if 4 shards stop doubling 1-shard throughput at 32 devices).
 bench-cluster:
 	$(GO) run ./cmd/rattrap-bench -cluster
+
+# Regenerates BENCH_autoscale.json (elastic pool vs fixed pools under
+# bursty arrivals; fails if the autoscaler stops beating the equal-average
+# fixed pool on p99, or teardown faults leak pool capacity).
+bench-autoscale:
+	$(GO) run ./cmd/rattrap-bench -autoscale
 
 # Regenerates BENCH_faults.json (fault-plan robustness sweep).
 bench-faults:

@@ -59,4 +59,12 @@ strip_cluster_measured "$scratch/BENCH_cluster.json" > "$scratch/cl_a.json"
 strip_cluster_measured "$scratch/cl2/BENCH_cluster.json" > "$scratch/cl_b.json"
 diff "$scratch/cl_a.json" "$scratch/cl_b.json"
 
+echo "== autoscale sweep (elastic pool gates, short cells, double-run determinism)"
+go run ./cmd/rattrap-bench -autoscale -short -out "$scratch"
+mkdir -p "$scratch/as2"
+go run ./cmd/rattrap-bench -autoscale -short -out "$scratch/as2" > /dev/null
+# The autoscale report is entirely virtual-time, so the whole file must be
+# bit-identical across runs — no wall-clock fields to strip.
+diff "$scratch/BENCH_autoscale.json" "$scratch/as2/BENCH_autoscale.json"
+
 echo "== ok"

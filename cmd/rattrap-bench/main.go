@@ -32,11 +32,12 @@ func main() {
 	rt := flag.Bool("realtime", false, "benchmark the realtime serving layer and write BENCH_realtime.json")
 	tp := flag.Bool("throughput", false, "sweep the pipelined data plane (devices x depth) and write BENCH_throughput.json")
 	clu := flag.Bool("cluster", false, "sweep the sharded gateway (shards x devices) and write BENCH_cluster.json")
-	short := flag.Bool("short", false, "with -throughput or -cluster: run the reduced CI sweep (fewer cells and requests)")
+	short := flag.Bool("short", false, "with -throughput, -cluster or -autoscale: run the reduced CI sweep (fewer cells and requests)")
 	baseline := flag.String("baseline", "", "with -realtime or -throughput: fail on regression vs this baseline report (>3x p50; with -throughput also <0.5x req/s)")
 	allocs := flag.Bool("allocs", false, "gate allocs/op on the binary-wire warehouse-hit path (absolute ceiling + baseline fence)")
 	flt := flag.Bool("faults", false, "sweep the standard fault plans and write BENCH_faults.json")
 	stages := flag.Bool("stages", false, "emit the per-stage latency breakdown as BENCH_stages.json")
+	ascale := flag.Bool("autoscale", false, "race the elastic pool against fixed pools under bursty arrivals and write BENCH_autoscale.json")
 	flag.Parse()
 
 	if *out != "" {
@@ -73,6 +74,14 @@ func main() {
 	if *clu {
 		if err := runClusterBench(*out, *short); err != nil {
 			fmt.Fprintf(os.Stderr, "rattrap-bench: cluster: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *ascale {
+		if err := runAutoscaleBench(*seed, *out, *short); err != nil {
+			fmt.Fprintf(os.Stderr, "rattrap-bench: autoscale: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -32,6 +32,8 @@ func main() {
 	platform := flag.String("platform", "rattrap", "platform kind: rattrap, rattrap-wo or vm")
 	speed := flag.Float64("speed", 1, "virtual-time speedup factor")
 	maxRuntimes := flag.Int("max-runtimes", 5, "runtime pool cap")
+	minRuntimes := flag.Int("min-runtimes", 0, "runtime pool floor under -autoscale (0 = scale to zero)")
+	autoscale := flag.Bool("autoscale", false, "run the elastic pool control loop per shard (grow/shrink between -min-runtimes and -max-runtimes from queue pressure)")
 	httpAddr := flag.String("http", "", "observability listen address (/metrics, /debug/pprof); empty disables")
 	pipelineDepth := flag.Int("pipeline-depth", 1, "exec requests one connection may have in flight (1 = serial)")
 	shards := flag.Int("shards", 1, "platform shards; apps are consistent-hashed across shards by AID")
@@ -59,6 +61,8 @@ func main() {
 
 	cfg := core.DefaultConfig(kind)
 	cfg.MaxRuntimes = *maxRuntimes
+	cfg.MinRuntimes = *minRuntimes
+	cfg.Autoscale.Enabled = *autoscale
 	logger := log.New(os.Stderr, "rattrapd: ", log.LstdFlags)
 	srv := realtime.NewServerOpts(cfg, *speed, logger, realtime.Options{
 		PipelineDepth: *pipelineDepth,

@@ -54,10 +54,13 @@ type Cluster struct {
 }
 
 // New builds an n-shard cluster on engine e. Every shard gets an identical
-// copy of cfg; with n > 1 each shard's CIDs are prefixed "sN-" so runtime
-// IDs are unique cluster-wide. With n == 1 the configuration is left
-// untouched — a 1-shard Cluster must be indistinguishable from the bare
-// Platform it wraps.
+// copy of cfg — including cfg.Autoscale, so an elastic cluster runs one
+// independent control loop per shard, each sizing its own pool from its
+// own queue; idle shards scale to MinRuntimes (or to zero). With n > 1
+// each shard's CIDs are prefixed "sN-" so runtime IDs are unique
+// cluster-wide. With n == 1 the configuration is left untouched — a
+// 1-shard Cluster must be indistinguishable from the bare Platform it
+// wraps.
 func New(e *sim.Engine, cfg core.Config, n int) *Cluster {
 	if n < 1 {
 		n = 1
@@ -115,6 +118,26 @@ func (c *Cluster) Runtimes() []*core.RuntimeInfo {
 	var out []*core.RuntimeInfo
 	for _, pl := range c.shards {
 		out = append(out, pl.DB().List()...)
+	}
+	return out
+}
+
+// PoolSizes returns every shard's current runtime-pool size, in shard
+// order — the per-shard view of the autoscalers' sizing decisions.
+func (c *Cluster) PoolSizes() []int {
+	out := make([]int, len(c.shards))
+	for i, pl := range c.shards {
+		out[i] = pl.RuntimeCount()
+	}
+	return out
+}
+
+// QueueLengths returns every shard's dispatcher wait-ring depth, in shard
+// order.
+func (c *Cluster) QueueLengths() []int {
+	out := make([]int, len(c.shards))
+	for i, pl := range c.shards {
+		out[i] = pl.QueueLength()
 	}
 	return out
 }

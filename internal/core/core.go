@@ -87,6 +87,14 @@ type Config struct {
 	// value is SchedAffinity, the paper's warehouse-aware dispatch, for
 	// every platform kind.
 	Scheduler SchedulerPolicy
+	// MinRuntimes floors the pool when the autoscaler runs: the control
+	// loop pre-warms and maintains this many runtimes, and shrinking
+	// stops there. 0 allows scale-to-zero. Ignored without Autoscale.
+	MinRuntimes int
+	// Autoscale configures the elastic pool control loop (autoscaler.go).
+	// Disabled (the zero value), pool sizing keeps the paper's static
+	// boot-up-to-MaxRuntimes semantics.
+	Autoscale AutoscaleConfig
 	// CIDPrefix, when set, prefixes every runtime CID this platform mints
 	// (cluster shards use "sN-" so runtime IDs stay unique cluster-wide).
 	CIDPrefix string
@@ -153,6 +161,24 @@ type Platform struct {
 	// bootFault, when set, is consulted at the start of every runtime
 	// boot (fault injection; see internal/faults).
 	bootFault func(p *sim.Proc, id string) error
+	// teardownFault, when set, is consulted before a runtime's guest
+	// teardown in StopRuntime (fault injection).
+	teardownFault func(p *sim.Proc, id string) error
+	// execFault, when set, is consulted before every workload execution
+	// (fault injection); a non-nil return fails the execution.
+	execFault func(p *sim.Proc, id, aid string) error
+
+	// scaler is the elastic pool control loop, nil unless
+	// cfg.Autoscale.Enabled (see autoscaler.go).
+	scaler *autoscaler
+	// ft tracks per-runtime consecutive failures and drives cordoning
+	// (see failuretracker.go). Always non-nil; with CordonThreshold 0 it
+	// only keeps aggregate totals.
+	ft *failureTracker
+	// cordonedLive counts cordoned slots still on the slot list — they
+	// are census-visible but unschedulable, and the autoscaler must not
+	// count them as capacity.
+	cordonedLive int
 
 	// om holds the pre-resolved observability instruments (see obs.go);
 	// nil means observability is off and every record site is one nil
@@ -176,6 +202,7 @@ type slot struct {
 
 	prev, next *slot           // pl.slots linkage
 	removed    bool            // unlinked from the pool; index entries are stale
+	cordoned   bool            // unschedulable; drains once idle (failuretracker.go)
 	inIdle     bool            // has a live entry in the scheduler's idle heap
 	inAff      map[string]bool // AIDs with a live entry in the affinity index
 }
@@ -183,12 +210,25 @@ type slot struct {
 type waiter struct {
 	sig *sim.Signal
 	sl  *slot
+	// aborted is set by the request's abort signal firing while queued;
+	// an aborted waiter is skipped by popLiveWaiter, and if a release won
+	// the race and handed it a slot anyway, the waiter re-releases it.
+	aborted bool
+	// taken marks the handoff complete: the waiter's proc resumed and
+	// accepted the slot, so a late abort no longer concerns the queue.
+	taken bool
 }
 
 // New assembles a platform on a fresh cloud server.
 func New(e *sim.Engine, cfg Config) *Platform {
 	if cfg.MaxRuntimes <= 0 {
 		cfg.MaxRuntimes = 1
+	}
+	if cfg.MinRuntimes < 0 {
+		cfg.MinRuntimes = 0
+	}
+	if cfg.MinRuntimes > cfg.MaxRuntimes {
+		cfg.MinRuntimes = cfg.MaxRuntimes
 	}
 	if cfg.KernelRelease == "" {
 		cfg.KernelRelease = "3.18.0"
@@ -205,6 +245,19 @@ func New(e *sim.Engine, cfg Config) *Platform {
 		fullManifest: image.AndroidX86(),
 		byID:         make(map[string]*slot),
 		sched:        newScheduler(cfg.Scheduler),
+	}
+	// The failure tracker always runs (aggregate totals are cheap);
+	// cordoning needs an explicit threshold, or the autoscaler's default.
+	threshold := cfg.Autoscale.CordonThreshold
+	if threshold <= 0 && cfg.Autoscale.Enabled {
+		threshold = cfg.Autoscale.withDefaults().CordonThreshold
+	}
+	pl.ft = newFailureTracker(threshold)
+	if cfg.Autoscale.Enabled {
+		pl.scaler = newAutoscaler(pl, cfg.Autoscale)
+		if cfg.MinRuntimes > 0 {
+			pl.kickScaler() // pre-warm the floor
+		}
 	}
 	pl.contManifest = pl.fullManifest.ForContainer()
 	pl.custManifest = pl.fullManifest.Customized()
@@ -254,6 +307,22 @@ func (pl *Platform) Registry() *workload.Registry { return pl.reg }
 // wired to a faults.Injector via its BootHook adapter.
 func (pl *Platform) SetBootFault(fn func(p *sim.Proc, id string) error) { pl.bootFault = fn }
 
+// SetTeardownFault installs a hook consulted before a runtime's guest
+// teardown in StopRuntime; a non-nil return fails the teardown (the slot
+// is still reclaimed — teardown is best-effort). Typically wired to a
+// faults.Injector via its TeardownHook adapter.
+func (pl *Platform) SetTeardownFault(fn func(p *sim.Proc, id string) error) {
+	pl.teardownFault = fn
+}
+
+// SetExecFault installs a hook consulted before every workload
+// execution; a non-nil return fails that execution (and counts against
+// the runtime's failure strikes). Typically wired to a faults.Injector
+// via its ExecHook adapter.
+func (pl *Platform) SetExecFault(fn func(p *sim.Proc, id, aid string) error) {
+	pl.execFault = fn
+}
+
 // BootRuntime boots one runtime outside the request path (pool pre-warm
 // and Table I measurements). The fresh runtime goes straight to the idle
 // pool; the returned record is a copy (the live one belongs to the DB).
@@ -289,6 +358,7 @@ func (pl *Platform) bootSlot(p *sim.Proc) (*slot, error) {
 		if pl.om != nil {
 			pl.om.bootFails.Inc()
 		}
+		pl.noteFailure(id, FailBoot)
 		return nil, fmt.Errorf("core: booting %s: %w", id, err)
 	}
 
@@ -416,8 +486,15 @@ func (pl *Platform) removeSlot(sl *slot) {
 	pl.slots.remove(sl)
 	delete(pl.byID, sl.id)
 	pl.db.Remove(sl.id)
+	pl.ft.clear(sl.id)
+	if sl.cordoned {
+		pl.cordonedLive--
+	}
 	if pl.om != nil {
 		pl.om.poolSize.Set(int64(pl.slots.n))
+	}
+	if pl.scaler != nil && pl.schedulable() < pl.cfg.MinRuntimes {
+		pl.kickScaler() // the pool fell through its floor; re-warm
 	}
 }
 
@@ -429,7 +506,7 @@ func (pl *Platform) Prepare(p *sim.Proc, req offload.ExecRequest) (offload.Sessi
 	if tbl.Blocked {
 		return nil, fmt.Errorf("%w: %s: %w", ErrBlocked, req.App, ErrAppBlocked)
 	}
-	sl, err := pl.acquireSlot(p, req.AID, req.Span())
+	sl, err := pl.acquireSlot(p, req.AID, req.Span(), req.Abort())
 	if err != nil {
 		return nil, err
 	}
@@ -594,6 +671,12 @@ func (s *session) Execute(p *sim.Proc) (offload.Result, error) {
 		// redoing it under the serialized engine.
 		task.SetPrecomputed(pre)
 	}
+	if pl.execFault != nil {
+		if ferr := pl.execFault(p, sl.id, req.AID); ferr != nil {
+			pl.noteFailure(sl.id, FailExec)
+			return offload.Result{Err: ferr.Error()}, nil
+		}
+	}
 	runStart := s.stageStart(sp)
 	res, err := sl.rt.Execute(p, req.AID, task, pl.reg)
 	if d, on := s.stageEnd(runStart); on && err == nil {
@@ -604,8 +687,10 @@ func (s *session) Execute(p *sim.Proc) (offload.Result, error) {
 		}
 	}
 	if err != nil {
+		pl.noteFailure(sl.id, FailExec)
 		return offload.Result{Err: err.Error()}, nil
 	}
+	pl.ft.clear(sl.id) // a success breaks the runtime's failure streak
 
 	sl.info.Executed++
 	sl.info.MemMB = pl.slotMemMB(sl)
@@ -644,23 +729,36 @@ func (pl *Platform) StopRuntime(p *sim.Proc, cid string) error {
 	}
 	pl.db.Transition(cid, LifecycleDraining)
 	sl.rt.Shutdown()
-	switch {
-	case sl.vmach != nil:
-		if err := sl.vmach.Destroy(p); err != nil {
-			return err
-		}
-	case sl.ctr != nil:
-		if err := sl.ctr.Stop(p); err != nil {
-			return err
+	var terr error
+	if pl.teardownFault != nil {
+		terr = pl.teardownFault(p, cid)
+	}
+	if terr == nil {
+		switch {
+		case sl.vmach != nil:
+			terr = sl.vmach.Destroy(p)
+		case sl.ctr != nil:
+			terr = sl.ctr.Stop(p)
 		}
 	}
+	// Teardown is best-effort: whatever happened to the guest, the slot
+	// leaves the pool. Returning early on terr here used to strand the
+	// slot in LifecycleDraining forever — still on the slot list, counting
+	// against MaxRuntimes, its warehouse CID binding never released — so a
+	// single failed Destroy permanently leaked a unit of pool capacity.
 	if pl.warehouse != nil {
 		pl.warehouse.UnbindCID(sl.id)
 	}
 	pl.db.Transition(cid, LifecycleReclaimed)
+	if terr != nil {
+		pl.noteFailure(cid, FailTeardown)
+	}
 	pl.removeSlot(sl)
 	if pl.cfg.Kind != KindVM && pl.slots.n == 0 {
 		_ = acd.UnloadAll(pl.Kernel) // best effort; fails only if still referenced
+	}
+	if terr != nil {
+		return fmt.Errorf("core: stopping %s: %w", cid, terr)
 	}
 	return nil
 }

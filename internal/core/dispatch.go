@@ -113,10 +113,20 @@ func (r *waiterRing) pop() *waiter {
 
 func (r *waiterRing) len() int { return r.n }
 
+// ErrAborted reports that a request's abort signal fired before the
+// dispatcher could (usefully) serve it.
+var ErrAborted = errors.New("core: request aborted while queued")
+
 // acquireSlot implements the Dispatcher's allocation policy. sp, when
 // non-nil, receives the boot / queue-wait sub-stage durations of this
-// allocation (virtual time).
-func (pl *Platform) acquireSlot(p *sim.Proc, aid string, sp *obs.Span) (*slot, error) {
+// allocation (virtual time). abort, when non-nil, is the request's
+// cancellation signal: if it fires while the request is parked in the
+// wait ring, the wait ends with ErrAborted instead of occupying a queue
+// seat (and eventually a slot) for a caller that is gone.
+func (pl *Platform) acquireSlot(p *sim.Proc, aid string, sp *obs.Span, abort *sim.Signal) (*slot, error) {
+	if abort != nil && abort.Fired() {
+		return nil, ErrAborted
+	}
 	// 1.–2. Idle runtime, best one first: the Scheduler prefers a runtime
 	//    that already loaded this code (cache-table CID affinity: "saves
 	//    the time for loading codes"), then any idle runtime.
@@ -127,8 +137,9 @@ func (pl *Platform) acquireSlot(p *sim.Proc, aid string, sp *obs.Span) (*slot, e
 		}
 		return sl, nil
 	}
-	// 3. Grow the pool.
-	if pl.slots.n < pl.cfg.MaxRuntimes {
+	// 3. Grow the pool — up to the static MaxRuntimes, or up to the
+	//    autoscaler's elastic boot ceiling when the control loop runs.
+	if pl.slots.n < pl.poolCap() {
 		var start sim.Time = -1
 		if sp != nil {
 			start = pl.E.Now()
@@ -151,7 +162,22 @@ func (pl *Platform) acquireSlot(p *sim.Proc, aid string, sp *obs.Span) (*slot, e
 	}
 	// 5. Queue FIFO for the next release.
 	w := &waiter{sig: sim.NewSignal(pl.E)}
+	if abort != nil {
+		// The callback stays registered on the abort signal for its
+		// lifetime (a few dozen bytes per queued request on the slow
+		// path); it goes inert once the waiter takes its slot.
+		abort.OnFire(func() {
+			if w.taken || w.aborted {
+				return
+			}
+			w.aborted = true
+			if !w.sig.Fired() {
+				w.sig.Fire()
+			}
+		})
+	}
 	pl.waitQ.push(w)
+	pl.kickScaler() // queue pressure is the autoscaler's grow signal
 	var start sim.Time = -1
 	if sp != nil || pl.om != nil {
 		start = pl.E.Now()
@@ -168,9 +194,20 @@ func (pl *Platform) acquireSlot(p *sim.Proc, aid string, sp *obs.Span) (*slot, e
 			pl.om.queueWait.Observe(d)
 		}
 	}
+	if w.aborted {
+		if w.sl != nil {
+			// A release handed this waiter the slot in the same instant
+			// the abort fired (release popped the still-live waiter, then
+			// the abort event ran before the waiter's resume event). Put
+			// the slot back rather than strand it LifecycleActive.
+			pl.releaseSlot(w.sl)
+		}
+		return nil, ErrAborted
+	}
 	if w.sl == nil {
 		return nil, errors.New("core: dispatcher queue aborted")
 	}
+	w.taken = true
 	return w.sl, nil
 }
 
@@ -195,12 +232,17 @@ func (pl *Platform) noteHold(d time.Duration) {
 
 // retryAfterHint estimates how long an overload-rejected client should
 // back off: the queue ahead of it, drained at one slot-hold per runtime.
+// The drain rate comes from the schedulable census (idle + active), not
+// cfg.MaxRuntimes: whenever the live pool is smaller — cold start, boots
+// still in flight, post-shrink, cordoned runtimes — dividing by the cap
+// overstated the drain rate and clients retried too early, re-tripping
+// admission.
 func (pl *Platform) retryAfterHint() time.Duration {
 	ewma := pl.holdEWMA
 	if ewma <= 0 {
 		ewma = 250 * time.Millisecond // no completed holds yet; nominal guess
 	}
-	runtimes := pl.cfg.MaxRuntimes
+	runtimes := pl.db.StateCount(LifecycleIdle) + pl.db.StateCount(LifecycleActive)
 	if runtimes < 1 {
 		runtimes = 1
 	}
@@ -211,10 +253,37 @@ func (pl *Platform) retryAfterHint() time.Duration {
 	return hint
 }
 
+// popLiveWaiter pops the oldest waiter whose request has not aborted.
+// Aborted waiters' signals already fired (the abort did it); dropping
+// them here is how they leave the ring.
+func (pl *Platform) popLiveWaiter() *waiter {
+	for {
+		w := pl.waitQ.pop()
+		if w == nil {
+			return nil
+		}
+		if w.aborted {
+			if pl.om != nil {
+				pl.om.queueLen.Set(int64(pl.waitQ.len()))
+			}
+			continue
+		}
+		return w
+	}
+}
+
 func (pl *Platform) releaseSlot(sl *slot) {
 	sl.info.LastUsed = pl.E.Now()
 	pl.noteHold((pl.E.Now() - sl.acquiredAt).Duration())
-	if w := pl.waitQ.pop(); w != nil {
+	if sl.cordoned {
+		// A cordoned runtime takes no further work: no waiter handoff, no
+		// Offer back to the scheduler — park it idle and drain it.
+		pl.db.Transition(sl.id, LifecycleIdle)
+		pl.drainSlot(sl)
+		pl.kickScaler() // replacement capacity may be needed
+		return
+	}
+	if w := pl.popLiveWaiter(); w != nil {
 		// Hand the slot straight to the queued request: it stays
 		// LifecycleActive through the handoff (no idle edge).
 		w.sl = sl
@@ -227,7 +296,11 @@ func (pl *Platform) releaseSlot(sl *slot) {
 	}
 	pl.db.Transition(sl.id, LifecycleIdle)
 	pl.sched.Offer(sl)
-	if pl.cfg.IdleTimeout > 0 {
+	// Idle reclamation: the autoscaler owns it when running (hysteretic
+	// shrink toward MinRuntimes); otherwise the legacy per-slot reap.
+	if pl.scaler != nil {
+		pl.kickScaler()
+	} else if pl.cfg.IdleTimeout > 0 {
 		pl.scheduleReap(sl, sl.info.LastUsed)
 	}
 }

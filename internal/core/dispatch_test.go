@@ -93,7 +93,7 @@ func TestDispatcherAffinityIndexSkipsStoppedRuntime(t *testing.T) {
 	pl := New(e, cfg)
 	codeSize := 4 * host.MB
 	e.Spawn("t", func(p *sim.Proc) {
-		slA, err := pl.acquireSlot(p, "app-A", nil)
+		slA, err := pl.acquireSlot(p, "app-A", nil, nil)
 		if err != nil {
 			t.Error(err)
 			return
@@ -102,7 +102,7 @@ func TestDispatcherAffinityIndexSkipsStoppedRuntime(t *testing.T) {
 			t.Error(err)
 			return
 		}
-		slB, err := pl.acquireSlot(p, "app-B", nil) // slA busy: boots a second slot
+		slB, err := pl.acquireSlot(p, "app-B", nil, nil) // slA busy: boots a second slot
 		if err != nil {
 			t.Error(err)
 			return
@@ -119,7 +119,7 @@ func TestDispatcherAffinityIndexSkipsStoppedRuntime(t *testing.T) {
 		pl.releaseSlot(slB) // indexed under app-B
 
 		// Affinity routes app-A back to slA while it lives...
-		got, err := pl.acquireSlot(p, "app-A", nil)
+		got, err := pl.acquireSlot(p, "app-A", nil, nil)
 		if err != nil || got != slA {
 			t.Errorf("affinity pick = %v, %v; want %s", got, err, slA.id)
 			return
@@ -132,7 +132,7 @@ func TestDispatcherAffinityIndexSkipsStoppedRuntime(t *testing.T) {
 			t.Error(err)
 			return
 		}
-		got, err = pl.acquireSlot(p, "app-A", nil)
+		got, err = pl.acquireSlot(p, "app-A", nil, nil)
 		if err != nil {
 			t.Error(err)
 			return

@@ -26,6 +26,16 @@ type platformMetrics struct {
 	poolSize *obs.Gauge // current runtime pool size
 	queueLen *obs.Gauge // current dispatcher wait-ring depth
 
+	// Elastic-pool control loop (autoscaler.go) and health remediation
+	// (failuretracker.go) instruments.
+	asTicks     *obs.Counter                  // control ticks executed
+	asBoots     *obs.Counter                  // loop-initiated boots that completed
+	asStops     *obs.Counter                  // shrink stops that completed
+	asLimit     *obs.Gauge                    // current elastic boot ceiling
+	asQueueEWMA *obs.Gauge                    // smoothed wait-ring depth ×1000
+	cordons     *obs.Counter                  // runtimes cordoned for repeated failures
+	healthFails [numFailureKinds]*obs.Counter // failures by kind (boot/exec/teardown)
+
 	// lifeEdges counts every lifecycle edge taken, indexed [from][to];
 	// only legal edges are resolved (illegal ones panic in Transition
 	// before reaching the hook). lifeStates gauges the live-runtime census
@@ -70,11 +80,20 @@ func (pl *Platform) SetObsPrefixed(reg *obs.Registry, prefix string) {
 		executes:        reg.Counter(prefix + "core.executes"),
 		poolSize:        reg.Gauge(prefix + "core.pool_size"),
 		queueLen:        reg.Gauge(prefix + "core.queue_len"),
+		asTicks:         reg.Counter(prefix + "autoscale.ticks"),
+		asBoots:         reg.Counter(prefix + "autoscale.boots"),
+		asStops:         reg.Counter(prefix + "autoscale.stops"),
+		asLimit:         reg.Gauge(prefix + "autoscale.limit"),
+		asQueueEWMA:     reg.Gauge(prefix + "autoscale.queue_ewma_x1000"),
+		cordons:         reg.Counter(prefix + "health.cordons"),
 		queueWait:       reg.Histogram(prefix + "stage." + obs.StageQueueWait),
 		bootTime:        reg.Histogram(prefix + "stage." + obs.StageBoot),
 		codeStage:       reg.Histogram(prefix + "stage." + obs.StageCodeStage),
 		whLoad:          reg.Histogram(prefix + "stage." + obs.StageWarehouseLoad),
 		runTime:         reg.Histogram(prefix + "stage." + obs.StageRun),
+	}
+	for k := FailureKind(0); k < numFailureKinds; k++ {
+		om.healthFails[k] = reg.Counter(prefix + "health.fail." + k.String())
 	}
 	for from, tos := range lifecycleEdges {
 		for _, to := range tos {

@@ -154,7 +154,7 @@ func (s *FIFOScheduler) Pick(aid string) (*slot, bool) {
 
 // slotIdle reports whether a popped index entry is still claimable.
 func slotIdle(sl *slot) bool {
-	return !sl.removed && sl.info.State == LifecycleIdle
+	return !sl.removed && !sl.cordoned && sl.info.State == LifecycleIdle
 }
 
 // popIdleHeap pops the earliest-booted still-idle slot, discarding stale

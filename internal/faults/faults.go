@@ -84,6 +84,8 @@ const (
 	SiteDownload = "net.download"
 	SiteFSWrite  = "fs.write"
 	SiteBoot     = "boot"
+	SiteExec     = "exec"
+	SiteTeardown = "teardown"
 )
 
 // Rule injects one fault kind at matching operations. A rule fires either
@@ -258,5 +260,21 @@ func (in *Injector) FSHook() func(p *sim.Proc, path string, size host.Bytes) err
 func (in *Injector) BootHook() func(p *sim.Proc, id string) error {
 	return func(p *sim.Proc, id string) error {
 		return in.Apply(p, SiteBoot, id, 0)
+	}
+}
+
+// TeardownHook adapts the injector to core.Platform.SetTeardownFault.
+func (in *Injector) TeardownHook() func(p *sim.Proc, id string) error {
+	return func(p *sim.Proc, id string) error {
+		return in.Apply(p, SiteTeardown, id, 0)
+	}
+}
+
+// ExecHook adapts the injector to core.Platform.SetExecFault. The rule
+// target matches the runtime ID, so a plan can fail every execution on
+// one specific runtime (the health tracker's cordon scenario).
+func (in *Injector) ExecHook() func(p *sim.Proc, id, aid string) error {
+	return func(p *sim.Proc, id, aid string) error {
+		return in.Apply(p, SiteExec, id, 0)
 	}
 }

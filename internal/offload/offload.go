@@ -59,6 +59,13 @@ type ExecRequest struct {
 	// outside the serialized engine — and the runtime returns this result
 	// instead of recomputing under the engine lock.
 	pre *workload.Precomputed
+
+	// abort is the request's cancellation signal: when it fires, a
+	// dispatcher parked waiting for a runtime abandons the wait instead
+	// of eventually claiming a slot for a caller that is gone (the
+	// realtime server fires one per connection at teardown). Unexported
+	// for the same reason as span: cloud-internal, never on the wire.
+	abort *sim.Signal
 }
 
 // SetPrecomputed attaches an ahead-of-time execution outcome for the
@@ -77,6 +84,15 @@ func (r *ExecRequest) SetSpan(sp *obs.Span) { r.span = sp }
 
 // Span returns the attached span, nil when observability is disabled.
 func (r ExecRequest) Span() *obs.Span { return r.span }
+
+// SetAbort attaches a cancellation signal. The signal must belong to the
+// engine that will serve the request; firing it aborts any queued wait
+// the request holds in the dispatcher.
+func (r *ExecRequest) SetAbort(sig *sim.Signal) { r.abort = sig }
+
+// Abort returns the attached cancellation signal, nil when the request
+// cannot be aborted.
+func (r ExecRequest) Abort() *sim.Signal { return r.abort }
 
 // CodePush carries mobile code to the cloud (first offload of an app).
 // Seq echoes the exec request the push answers so a pipelined server can

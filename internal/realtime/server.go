@@ -398,11 +398,21 @@ func (s *Server) handle(conn net.Conn) error {
 	}
 	dev := hello.Hello.DeviceID
 	s.log.Printf("device %s connected (wire %s)", dev, c.WireName())
+	// One abort signal per shard, fired when this connection tears down:
+	// any of the connection's requests still parked in a dispatcher wait
+	// ring returns ErrAborted instead of eventually claiming a runtime
+	// for a device that is gone. Constructing a Signal only records the
+	// engine pointer — no engine state is touched off-driver.
+	aborts := make([]*sim.Signal, len(s.shards))
+	for i := range aborts {
+		aborts[i] = sim.NewSignal(s.shards[i].pl.E)
+	}
 	h := &connHandler{
 		s:          s,
 		conn:       conn,
 		c:          c,
 		dev:        dev,
+		aborts:     aborts,
 		sem:        make(chan struct{}, s.opts.PipelineDepth),
 		out:        make(chan outMsg, s.opts.PipelineDepth+2),
 		connDone:   make(chan struct{}),
@@ -442,6 +452,7 @@ type connHandler struct {
 	c    *offload.Conn
 	dev  string
 
+	aborts     []*sim.Signal // per-shard request-abort signals, fired at teardown
 	sem        chan struct{} // pipeline admission tokens (cap = PipelineDepth)
 	out        chan outMsg   // workers/decode loop -> writer
 	connDone   chan struct{} // closed when the decode loop exits
@@ -466,6 +477,19 @@ func (h *connHandler) run() error {
 	go h.writer()
 	loopErr := h.decodeLoop()
 	close(h.connDone)
+	// Fire the per-shard abort signals so workers parked in a dispatcher
+	// wait ring (waiting for a runtime that may never free up now that no
+	// more releases are coming from this connection) unblock instead of
+	// deadlocking workers.Wait. Signal state belongs to each shard's
+	// engine, so both the check and the fire run under its driver.
+	for i := range h.aborts {
+		sig := h.aborts[i]
+		h.s.shards[i].drv.Do("abort:"+h.dev, func(p *sim.Proc) {
+			if !sig.Fired() {
+				sig.Fire()
+			}
+		})
+	}
 	h.workers.Wait()
 	close(h.out)
 	<-h.writerDone
@@ -780,8 +804,11 @@ func (h *connHandler) serveRequest(req offload.ExecRequest, start time.Time) {
 	// matter to anyone downstream of the engine.
 	req.SetPrecomputed(s.precompute(&req))
 	// Route the request to the shard owning its AID; every engine
-	// interaction for this request happens on that shard's driver.
+	// interaction for this request happens on that shard's driver. The
+	// connection's abort signal for that shard rides along so a teardown
+	// mid-queue-wait cannot strand this worker (or a runtime slot).
 	shardID, shard := s.shardFor(req.AID)
+	req.SetAbort(h.aborts[shardID])
 	var (
 		sess    offload.Session
 		prepErr error
