@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz lint bench bench-allocs bench-realtime bench-throughput bench-cluster bench-autoscale bench-faults bench-stages ci clean
+.PHONY: all build vet test race fuzz lint bench bench-allocs bench-realtime bench-throughput bench-cluster bench-autoscale bench-faults bench-stages bench-scenario scenario-validate ci clean
 
 all: ci
 
@@ -43,9 +43,11 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkRealtimeRoundtrip|BenchmarkServerThroughput|BenchmarkDispatcherAcquire' \
 		-benchmem ./internal/realtime/ ./internal/core/ | tee bench.out
 
-# Short fuzz pass over the wire-frame codec (CI runs the same smoke).
+# Short fuzz passes over the wire-frame codec and the scenario decoder
+# (CI runs the same smokes).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzFrameCodec -fuzztime 30s ./internal/offload/
+	$(GO) test -run '^$$' -fuzz FuzzScenarioDecode -fuzztime 30s ./internal/scenario/
 
 # Allocation gate: allocs/op on the binary-wire warehouse-hit path must
 # stay under the absolute ceiling and within slack of the checked-in
@@ -81,6 +83,17 @@ bench-faults:
 # two same-seed runs differ or stages stop reconciling with end-to-end).
 bench-stages:
 	$(GO) run ./cmd/rattrap-bench -stages
+
+# Validates every checked-in scenario file (syntax + schema, no run).
+scenario-validate:
+	$(GO) run ./cmd/rattrap-bench -scenario-validate scenarios
+
+# Runs one scenario end to end; override with SCENARIO=<file>. The
+# million-device soak (scenarios/million-soak.yaml) takes ~20s wall for
+# an hour of virtual time and is run on demand, not in CI.
+SCENARIO ?= scenarios/baseline.yaml
+bench-scenario:
+	$(GO) run ./cmd/rattrap-bench -scenario $(SCENARIO)
 
 ci:
 	./ci.sh

@@ -16,6 +16,7 @@ go test -race -timeout 30m ./...
 
 echo "== fuzz smoke"
 go test -run '^$' -fuzz FuzzFrameCodec -fuzztime 10s ./internal/offload/
+go test -run '^$' -fuzz FuzzScenarioDecode -fuzztime 10s ./internal/scenario/
 
 echo "== benchmarks"
 go test -run '^$' -bench 'BenchmarkRealtimeRoundtrip|BenchmarkServerThroughput|BenchmarkDispatcherAcquire' \
@@ -66,5 +67,20 @@ go run ./cmd/rattrap-bench -autoscale -short -out "$scratch/as2" > /dev/null
 # The autoscale report is entirely virtual-time, so the whole file must be
 # bit-identical across runs — no wall-clock fields to strip.
 diff "$scratch/BENCH_autoscale.json" "$scratch/as2/BENCH_autoscale.json"
+
+echo "== scenario validate (every checked-in scenario must decode)"
+go run ./cmd/rattrap-bench -scenario-validate scenarios
+
+echo "== scenario gates (three fastest checked-in scenarios, hard assertions)"
+go run ./cmd/rattrap-bench -scenario scenarios/overload-shed.yaml -out "$scratch"
+go run ./cmd/rattrap-bench -scenario scenarios/boot-storm.yaml -out "$scratch"
+go run ./cmd/rattrap-bench -scenario scenarios/exec-flaky.yaml -out "$scratch"
+
+echo "== scenario determinism (double run, byte-identical report)"
+go run ./cmd/rattrap-bench -scenario scenarios/baseline.yaml -out "$scratch" > /dev/null
+mkdir -p "$scratch/sc2"
+go run ./cmd/rattrap-bench -scenario scenarios/baseline.yaml -out "$scratch/sc2" > /dev/null
+# The scenario report is entirely virtual-time: the whole file must match.
+diff "$scratch/BENCH_scenario.json" "$scratch/sc2/BENCH_scenario.json"
 
 echo "== ok"

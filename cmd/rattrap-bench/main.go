@@ -12,6 +12,8 @@
 //	rattrap-bench -cluster [-short] [-out dir]   # sharded-gateway scaling sweep (shards x devices)
 //	rattrap-bench -faults [-seed N] [-out dir]   # fault-plan robustness sweep
 //	rattrap-bench -stages [-seed N] [-out dir]   # per-stage latency breakdown (deterministic)
+//	rattrap-bench -scenario scenarios/baseline.yaml [-out dir]   # run one chaos scenario, assertions as exit status
+//	rattrap-bench -scenario-validate scenarios   # parse-and-check scenario files without running
 package main
 
 import (
@@ -38,6 +40,8 @@ func main() {
 	flt := flag.Bool("faults", false, "sweep the standard fault plans and write BENCH_faults.json")
 	stages := flag.Bool("stages", false, "emit the per-stage latency breakdown as BENCH_stages.json")
 	ascale := flag.Bool("autoscale", false, "race the elastic pool against fixed pools under bursty arrivals and write BENCH_autoscale.json")
+	scen := flag.String("scenario", "", "run one YAML chaos scenario and write BENCH_scenario.json (exit 1 on failed assertions)")
+	scenValidate := flag.String("scenario-validate", "", "parse and validate a scenario file or every *.yaml in a directory, without running")
 	flag.Parse()
 
 	if *out != "" {
@@ -45,6 +49,22 @@ func main() {
 			fmt.Fprintf(os.Stderr, "rattrap-bench: %v\n", err)
 			os.Exit(1)
 		}
+	}
+
+	if *scenValidate != "" {
+		if err := runScenarioValidate(*scenValidate); err != nil {
+			fmt.Fprintf(os.Stderr, "rattrap-bench: scenario-validate: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *scen != "" {
+		if err := runScenario(*scen, *out); err != nil {
+			fmt.Fprintf(os.Stderr, "rattrap-bench: scenario: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *rt {

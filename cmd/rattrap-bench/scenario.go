@@ -1,0 +1,112 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"rattrap/internal/scenario"
+)
+
+// runScenario loads, runs, and reports one scenario file. The report goes
+// to BENCH_scenario.json (under dir when -out is set); any failed
+// assertion makes the run exit non-zero, so a scenario invocation in
+// ci.sh is a hard gate. The run is all virtual time, so the report is
+// bit-identical across invocations at one seed — CI diffs two
+// back-to-back runs as its determinism check.
+func runScenario(path, dir string) error {
+	scn, err := scenario.Load(path)
+	if err != nil {
+		return err
+	}
+	rep, err := scenario.Run(scn)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("scenario %q: %d arrivals, %.2f%% success, p50 %.1f ms, p99 %.1f ms over %.1fs virtual\n",
+		rep.Scenario, rep.Totals.Arrivals, rep.Totals.SuccessRate*100,
+		rep.Totals.P50Ms, rep.Totals.P99Ms, rep.VirtualSecs)
+	for _, ev := range rep.Events {
+		fmt.Printf("  event @%8.0fms  %-12s %s\n", ev.AtMs, ev.Action, ev.Detail)
+	}
+	failed := 0
+	for _, a := range rep.Assertions {
+		verdict := "PASS"
+		if !a.Pass {
+			verdict = "FAIL"
+			failed++
+		}
+		scope := ""
+		if a.Cohort != "" {
+			scope = " [" + a.Cohort + "]"
+		}
+		fmt.Printf("  %s  %-18s%s want %s, got %s\n", verdict, a.Type, scope, a.Want, a.Got)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	outPath := "BENCH_scenario.json"
+	if dir != "" {
+		outPath = filepath.Join(dir, outPath)
+	}
+	if err := os.WriteFile(outPath, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("report in %s\n", outPath)
+
+	if failed > 0 {
+		return fmt.Errorf("scenario %q: %d of %d assertions failed", rep.Scenario, failed, len(rep.Assertions))
+	}
+	return nil
+}
+
+// runScenarioValidate parses and validates one scenario file, or every
+// *.yaml under a directory, without running anything. A malformed
+// checked-in scenario fails the build here rather than surprising the
+// next person who runs it.
+func runScenarioValidate(target string) error {
+	info, err := os.Stat(target)
+	if err != nil {
+		return err
+	}
+	var files []string
+	if info.IsDir() {
+		entries, err := os.ReadDir(target)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".yaml") {
+				files = append(files, filepath.Join(target, e.Name()))
+			}
+		}
+		sort.Strings(files)
+		if len(files) == 0 {
+			return fmt.Errorf("no .yaml scenarios under %s", target)
+		}
+	} else {
+		files = []string{target}
+	}
+	bad := 0
+	for _, f := range files {
+		scn, err := scenario.Load(f)
+		if err != nil {
+			fmt.Printf("FAIL %s: %v\n", f, err)
+			bad++
+			continue
+		}
+		fmt.Printf("ok   %s: %q — %d cohorts, %d events, %d assertions\n",
+			f, scn.Name, len(scn.Fleet), len(scn.Events), len(scn.Assertions))
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d of %d scenario files failed validation", bad, len(files))
+	}
+	return nil
+}

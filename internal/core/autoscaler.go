@@ -327,3 +327,26 @@ func (pl *Platform) offerBooted(sl *slot) {
 	pl.db.Transition(sl.id, LifecycleIdle)
 	pl.sched.Offer(sl)
 }
+
+// SetPoolBounds retunes the pool's sizing bounds at runtime — the
+// operator's floor/ceiling knob (a scenario's set-floor event, a capacity
+// reservation ahead of an anticipated burst). Values are clamped sane
+// (maxR at least 1, 0 <= minR <= maxR) and a control tick is kicked so an
+// enlarged floor starts pre-warming immediately rather than waiting for
+// the next demand edge. Without the autoscaler the new MaxRuntimes still
+// bounds the request path's boot ceiling; MinRuntimes stays inert, as
+// documented on Config.
+func (pl *Platform) SetPoolBounds(minR, maxR int) {
+	if maxR < 1 {
+		maxR = 1
+	}
+	if minR < 0 {
+		minR = 0
+	}
+	if minR > maxR {
+		minR = maxR
+	}
+	pl.cfg.MinRuntimes = minR
+	pl.cfg.MaxRuntimes = maxR
+	pl.kickScaler()
+}

@@ -1,0 +1,135 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func cohort(devices, rpd int, kind ArrivalKind, dur time.Duration) CohortSpec {
+	return CohortSpec{
+		Name:              "prop",
+		Devices:           devices,
+		RequestsPerDevice: rpd,
+		Arrival:           kind,
+		Duration:          dur,
+	}
+}
+
+// TestScheduleDeterministic pins the generator's reproducibility contract:
+// equal (spec, seed, index) gives a byte-identical schedule; changing the
+// seed or the cohort's fleet index gives an independent stream.
+func TestScheduleDeterministic(t *testing.T) {
+	for _, kind := range []ArrivalKind{ArrivalUniform, ArrivalPoisson} {
+		c := cohort(500, 2, kind, 20*time.Second)
+		a := Schedule(c, 42, 0)
+		b := Schedule(c, 42, 0)
+		if len(a) != len(b) {
+			t.Fatalf("%v: lengths differ: %d vs %d", kind, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: schedules diverge at arrival %d: %v vs %v", kind, i, a[i], b[i])
+			}
+		}
+	}
+	// Poisson streams must actually depend on seed and index.
+	c := cohort(500, 2, ArrivalPoisson, 20*time.Second)
+	base := Schedule(c, 42, 0)
+	for name, other := range map[string][]time.Duration{
+		"seed":  Schedule(c, 43, 0),
+		"index": Schedule(c, 42, 1),
+	} {
+		same := true
+		for i := range base {
+			if base[i] != other[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("changing the %s left the poisson schedule unchanged", name)
+		}
+	}
+}
+
+// TestScheduleCount: every cohort emits exactly Devices × RequestsPerDevice
+// arrivals — the fleet size is a declared quantity, not a sampling outcome.
+func TestScheduleCount(t *testing.T) {
+	for _, kind := range []ArrivalKind{ArrivalUniform, ArrivalPoisson} {
+		for _, tc := range []struct{ dev, rpd int }{{1, 1}, {7, 3}, {1000, 2}} {
+			c := cohort(tc.dev, tc.rpd, kind, 10*time.Second)
+			if got, want := len(Schedule(c, 42, 0)), tc.dev*tc.rpd; got != want {
+				t.Errorf("%v %d×%d: %d arrivals, want %d", kind, tc.dev, tc.rpd, got, want)
+			}
+		}
+	}
+}
+
+// TestScheduleUniformSpacing: uniform arrivals are evenly spaced at
+// exactly 1/Rate() and span exactly Duration.
+func TestScheduleUniformSpacing(t *testing.T) {
+	c := cohort(200, 1, ArrivalUniform, 10*time.Second)
+	s := Schedule(c, 42, 0)
+	gap := time.Duration(float64(time.Second) / c.Rate())
+	for i := 1; i < len(s); i++ {
+		d := s[i] - s[i-1]
+		if d < gap-time.Microsecond || d > gap+time.Microsecond {
+			t.Fatalf("gap %d = %v, want %v", i, d, gap)
+		}
+	}
+	last := s[len(s)-1]
+	if last < c.Duration-10*time.Millisecond || last > c.Duration+10*time.Millisecond {
+		t.Errorf("last arrival at %v, want ≈%v", last, c.Duration)
+	}
+}
+
+// TestScheduleStartOffset: arrivals begin after the cohort's start offset.
+func TestScheduleStartOffset(t *testing.T) {
+	c := cohort(50, 1, ArrivalPoisson, 5*time.Second)
+	c.Start = 3 * time.Second
+	for i, at := range Schedule(c, 42, 0) {
+		if at < c.Start {
+			t.Fatalf("arrival %d at %v, before start %v", i, at, c.Start)
+		}
+	}
+}
+
+// TestSchedulePoissonRate: the realized mean inter-arrival gap of a
+// poisson cohort converges on 1/Rate(), and the gaps are actually
+// dispersed (exponential, not uniform).
+func TestSchedulePoissonRate(t *testing.T) {
+	c := cohort(20000, 1, ArrivalPoisson, 100*time.Second)
+	s := Schedule(c, 42, 0)
+	mean := s[len(s)-1].Seconds() / float64(len(s))
+	want := 1 / c.Rate()
+	if math.Abs(mean-want) > 0.02*want {
+		t.Errorf("mean gap %.6fs, want %.6fs ±2%%", mean, want)
+	}
+	var sumSq float64
+	for i := 1; i < len(s); i++ {
+		g := (s[i] - s[i-1]).Seconds()
+		sumSq += (g - want) * (g - want)
+	}
+	// Exponential gaps have stddev == mean; uniform spacing would have ~0.
+	sd := math.Sqrt(sumSq / float64(len(s)-1))
+	if sd < 0.8*want || sd > 1.2*want {
+		t.Errorf("gap stddev %.6fs, want ≈%.6fs (exponential)", sd, want)
+	}
+}
+
+// TestCohortSeedIndependence: the per-cohort seed derivation must not
+// collide across adjacent (seed, index) pairs — a collision would make
+// two cohorts mirror each other's randomness.
+func TestCohortSeedIndependence(t *testing.T) {
+	seen := map[int64]bool{}
+	for seed := int64(0); seed < 64; seed++ {
+		for idx := 0; idx < MaxCohorts; idx++ {
+			s := cohortSeed(seed, idx)
+			if seen[s] {
+				t.Fatalf("cohortSeed collision at seed %d idx %d", seed, idx)
+			}
+			seen[s] = true
+		}
+	}
+}

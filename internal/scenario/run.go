@@ -1,0 +1,344 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"rattrap/internal/cluster"
+	"rattrap/internal/core"
+	"rattrap/internal/faults"
+	"rattrap/internal/host"
+	"rattrap/internal/netsim"
+	"rattrap/internal/offload"
+	"rattrap/internal/sim"
+	"rattrap/internal/workload"
+)
+
+// cohortState is one cohort's live state during a run. profile and mult
+// are the event-mutable knobs: set-network flips profile (new arrivals
+// pick it up, in-flight requests keep the link they opened), load-spike
+// raises mult (the generator reads it at every gap draw).
+type cohortState struct {
+	spec    CohortSpec
+	idx     int
+	gen     *arrivalGen
+	taskRng *rand.Rand
+	profile netsim.Profile
+	mult    float64
+	apps    []workload.App
+
+	arrivals  int
+	succeeded int
+	failed    int
+	overloads int
+	retries   int
+	latencies []float64 // seconds, successful requests only
+}
+
+// runner drives one scenario: a cluster plus per-cohort generators on a
+// single engine, with the event timeline scheduled as engine callbacks.
+type runner struct {
+	e   *sim.Engine
+	scn *Scenario
+	cl  *cluster.Cluster
+
+	// inj is the active fault injector, nil when none. The shard and link
+	// hooks are closures over the runner, so activating a plan mid-run
+	// immediately affects in-flight links and future boots/teardowns.
+	inj     *faults.Injector
+	retired int // faults injected by plans since replaced or cleared
+
+	cohorts []*cohortState
+	events  []EventReport
+}
+
+// Run executes a validated scenario and returns its report. The run is a
+// pure function of the scenario file: all randomness descends from
+// Scenario.Seed, the engine serializes every process, and the report
+// contains only virtual-time quantities — so the same file produces a
+// byte-identical report on every run, on every machine.
+func Run(scn *Scenario) (*Report, error) {
+	r := &runner{e: sim.NewEngine(scn.Seed), scn: scn}
+
+	cfg := core.DefaultConfig(scn.Platform.Kind)
+	cfg.MaxRuntimes = scn.Platform.MaxRuntimes
+	cfg.MaxQueueDepth = scn.Platform.MaxQueueDepth
+	cfg.IdleTimeout = scn.Platform.IdleTimeout
+	if scn.Platform.Autoscale {
+		cfg.MinRuntimes = scn.Platform.MinRuntimes
+		cfg.Autoscale = core.AutoscaleConfig{Enabled: true, Interval: scn.Platform.Interval}
+	}
+	r.cl = cluster.New(r.e, cfg, scn.Shards)
+	for i := 0; i < r.cl.Shards(); i++ {
+		r.installFaultHooks(r.cl.Shard(i))
+	}
+
+	for i, c := range scn.Fleet {
+		cs := &cohortState{
+			spec:    c,
+			idx:     i,
+			gen:     newArrivalGen(c, scn.Seed, i),
+			taskRng: rand.New(rand.NewSource(cohortSeed(scn.Seed, i+MaxCohorts))),
+			profile: c.Network,
+			mult:    1,
+		}
+		for _, name := range c.Apps {
+			app, err := workload.ByName(name)
+			if err != nil {
+				return nil, err // unreachable: Decode validated the names
+			}
+			cs.apps = append(cs.apps, app)
+		}
+		r.cohorts = append(r.cohorts, cs)
+		r.spawnGenerator(cs)
+	}
+
+	for _, ev := range scn.Events {
+		ev := ev
+		r.e.At(sim.Time(ev.At), func() { r.applyEvent(ev) })
+	}
+
+	r.e.Run()
+	if n := r.e.LiveProcs(); n != 0 {
+		return nil, fmt.Errorf("scenario %q: %d processes still live after the engine drained", scn.Name, n)
+	}
+	return r.report(), nil
+}
+
+// installFaultHooks wires one shard's boot/teardown/exec fault points to
+// the runner's *current* injector, so fault-plan events swap plans
+// without re-wiring anything.
+func (r *runner) installFaultHooks(pl *core.Platform) {
+	pl.SetBootFault(func(p *sim.Proc, id string) error {
+		if r.inj == nil {
+			return nil
+		}
+		return r.inj.Apply(p, faults.SiteBoot, id, 0)
+	})
+	pl.SetTeardownFault(func(p *sim.Proc, id string) error {
+		if r.inj == nil {
+			return nil
+		}
+		return r.inj.Apply(p, faults.SiteTeardown, id, 0)
+	})
+	pl.SetExecFault(func(p *sim.Proc, id, aid string) error {
+		if r.inj == nil {
+			return nil
+		}
+		return r.inj.Apply(p, faults.SiteExec, id, 0)
+	})
+}
+
+// retireInjector banks the active plan's injected-fault count before the
+// plan is replaced or cleared.
+func (r *runner) retireInjector() {
+	if r.inj != nil {
+		r.retired += r.inj.Injected()
+		r.inj = nil
+	}
+}
+
+func (r *runner) applyEvent(ev EventSpec) {
+	detail := ""
+	switch ev.Kind {
+	case EvSetNetwork:
+		cs := r.cohorts[ev.Cohort]
+		cs.profile = ev.Net
+		detail = fmt.Sprintf("%s -> %s", cs.spec.Name, ev.Net.Name)
+	case EvLoadSpike:
+		cs := r.cohorts[ev.Cohort]
+		cs.mult = ev.Factor
+		r.e.After(ev.Dur, func() { cs.mult = 1 })
+		detail = fmt.Sprintf("%s x%g for %v", cs.spec.Name, ev.Factor, ev.Dur)
+	case EvFaultPlan:
+		r.retireInjector()
+		plan, _ := planByName(ev.Plan, r.scn.Seed)
+		r.inj = faults.New(plan)
+		detail = ev.Plan
+	case EvClearFaults:
+		r.retireInjector()
+	case EvKillShard:
+		// Cordon every runtime on the shard: in-flight work finishes, the
+		// runtimes drain, and (under autoscale) the pool rebuilds cold.
+		pl := r.cl.Shard(ev.Shard)
+		n := 0
+		for _, ri := range pl.DB().List() {
+			if pl.CordonRuntime(ri.CID) {
+				n++
+			}
+		}
+		detail = fmt.Sprintf("shard %d, %d runtimes cordoned", ev.Shard, n)
+	case EvSetFloor:
+		for i := 0; i < r.cl.Shards(); i++ {
+			r.cl.Shard(i).SetPoolBounds(ev.Floor, r.scn.Platform.MaxRuntimes)
+		}
+		detail = fmt.Sprintf("min_runtimes=%d", ev.Floor)
+	}
+	r.events = append(r.events, EventReport{
+		AtMs:   durMs(ev.At),
+		Action: ev.Kind.String(),
+		Detail: detail,
+	})
+}
+
+// spawnGenerator starts a cohort's arrival process: one proc that sleeps
+// gap-to-gap and spawns a request proc per arrival. The fleet's size
+// shows up only as in-flight request procs, never as per-device state.
+func (r *runner) spawnGenerator(cs *cohortState) {
+	r.e.Spawn("gen:"+cs.spec.Name, func(p *sim.Proc) {
+		if cs.spec.Start > 0 {
+			p.Sleep(cs.spec.Start)
+		}
+		for k := 0; ; k++ {
+			gap, ok := cs.gen.next(cs.mult)
+			if !ok {
+				return
+			}
+			if gap > 0 {
+				p.Sleep(gap)
+			}
+			r.spawnRequest(cs, k)
+		}
+	})
+}
+
+// spawnRequest runs one arrival's full offload exchange as its own proc:
+// connect, upload, prepare, (push code), execute, download — the lite
+// mirror of device.Offload — under the scenario's retry policy.
+func (r *runner) spawnRequest(cs *cohortState, k int) {
+	arrived := r.e.Now()
+	prof := cs.profile
+	cs.arrivals++
+	r.e.Spawn(fmt.Sprintf("%s.r%d", cs.spec.Name, k), func(p *sim.Proc) {
+		dev := fmt.Sprintf("%s-d%d", cs.spec.Name, k%cs.spec.Devices)
+		link := netsim.NewLink(r.e, prof)
+		link.SetFault(func(p *sim.Proc, op string, size host.Bytes) error {
+			if r.inj == nil {
+				return nil
+			}
+			return r.inj.Apply(p, op, dev, size)
+		})
+		app := cs.apps[k%len(cs.apps)]
+		// Distinct code sizes make distinct AIDs: variants spread one
+		// app's traffic over Variants consistent-hash placements.
+		codeSize := app.CodeSize() + host.Bytes(k%cs.spec.Variants)
+		seq := k / cs.spec.Devices // unique per device: the idempotency key half
+		task := app.NewTask(cs.taskRng, seq)
+		if cs.spec.LinpackOrder > 0 && task.App == workload.NameLinpack {
+			task.Params = workload.EncodeLinpackParams(r.scn.Seed, cs.spec.LinpackOrder)
+		}
+		err := r.offload(p, cs, link, dev, task, codeSize)
+		if err == nil {
+			cs.succeeded++
+			cs.latencies = append(cs.latencies, (r.e.Now() - arrived).Duration().Seconds())
+		} else {
+			cs.failed++
+		}
+	})
+}
+
+// offload drives one request with retries: transient transport faults and
+// overload rejections back off and try again (device.Retryable's rule);
+// everything else is permanent.
+func (r *runner) offload(p *sim.Proc, cs *cohortState, link *netsim.Link, dev string, task workload.Task, codeSize host.Bytes) error {
+	rp := r.scn.Client
+	for attempt := 1; ; attempt++ {
+		err := r.attempt(p, link, dev, task, codeSize)
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, offload.ErrOverloaded) {
+			cs.overloads++
+		}
+		if attempt >= rp.MaxAttempts || !(faults.IsTransient(err) || errors.Is(err, offload.ErrOverloaded)) {
+			return err
+		}
+		cs.retries++
+		p.Sleep(r.backoff(rp, attempt, err))
+	}
+}
+
+// backoff mirrors device.backoff: exponential from BaseDelay, capped at
+// MaxDelay, ±25% jitter from the engine source (the engine serializes
+// procs, so the draw order — and hence the schedule — is deterministic),
+// floored by an overload rejection's retry-after hint.
+func (r *runner) backoff(rp ClientSpec, attempt int, cause error) time.Duration {
+	delay := rp.BaseDelay << uint(attempt-1)
+	if delay > rp.MaxDelay || delay <= 0 {
+		delay = rp.MaxDelay
+	}
+	delay += time.Duration(float64(delay) * 0.25 * (2*r.e.Rand().Float64() - 1))
+	var over *offload.OverloadedError
+	if errors.As(cause, &over) && delay < over.RetryAfter {
+		delay = over.RetryAfter
+	}
+	if delay < time.Millisecond {
+		delay = time.Millisecond
+	}
+	return delay
+}
+
+// attempt is one try of the basic offloading mechanism against the
+// cluster gateway.
+func (r *runner) attempt(p *sim.Proc, link *netsim.Link, dev string, task workload.Task, codeSize host.Bytes) error {
+	req := offload.ExecRequest{
+		DeviceID:      dev,
+		AID:           offload.AID(task.App, codeSize),
+		App:           task.App,
+		Method:        task.Method,
+		Seq:           task.Seq,
+		Params:        task.Params,
+		ParamBytes:    task.ParamBytes,
+		FileBytes:     task.FileBytes,
+		RoundTrips:    task.RoundTrips,
+		InteractBytes: task.InteractBytes,
+	}
+	if _, err := link.Connect(p); err != nil {
+		return err
+	}
+	if _, err := link.Upload(p, task.UploadBytes()+offload.ControlBytes); err != nil {
+		return err
+	}
+	sess, err := r.cl.Prepare(p, req)
+	if err != nil {
+		return err
+	}
+	defer sess.Release()
+	push := func() error {
+		if _, err := link.Download(p, offload.ControlBytes); err != nil {
+			return err
+		}
+		if _, err := link.Upload(p, codeSize); err != nil {
+			return err
+		}
+		return sess.PushCode(p, offload.CodePush{AID: req.AID, App: task.App, Size: codeSize})
+	}
+	if sess.NeedCode() {
+		if err := push(); err != nil {
+			return err
+		}
+	}
+	var res offload.Result
+	for {
+		res, err = sess.Execute(p)
+		if errors.Is(err, offload.ErrCodeNeeded) {
+			if perr := push(); perr != nil {
+				return perr
+			}
+			continue
+		}
+		break
+	}
+	if err != nil {
+		return err
+	}
+	if res.Err != "" {
+		return fmt.Errorf("cloud error (%s): %s", res.Code, res.Err)
+	}
+	if _, err := link.Download(p, res.ResultBytes+offload.ControlBytes); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,415 @@
+package scenario
+
+// This file implements the narrow YAML subset the scenario DSL needs —
+// block mappings, block sequences (including the compact "- key: value"
+// item form), flow sequences of scalars ("[a, b]"), quoted and plain
+// scalars, and "#" comments — as a small line-based recursive-descent
+// parser. go.mod deliberately has no dependencies, so rather than vendor
+// a YAML library the DSL grammar is pinned to exactly what the checked-in
+// scenarios use; anything outside the subset is a typed *ParseError with
+// a line number, never a panic. Anchors, aliases, multi-document streams,
+// flow mappings and tabs are rejected.
+
+import (
+	"fmt"
+	"strings"
+	"unicode/utf8"
+)
+
+// Parser hard limits: decoding adversarial input (the fuzzer, a corrupt
+// checked-in file) must fail fast with a typed error instead of
+// allocating without bound.
+const (
+	maxYAMLBytes = 1 << 20 // 1 MiB of scenario text
+	maxYAMLNodes = 1 << 16
+	maxYAMLDepth = 24
+)
+
+// ParseError is a YAML-subset syntax error, pointing at the 1-based
+// source line that broke the grammar.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("scenario: yaml line %d: %s", e.Line, e.Msg)
+}
+
+// yKind discriminates yamlNode.
+type yKind uint8
+
+const (
+	yScalar yKind = iota
+	yMap
+	ySeq
+)
+
+// yamlNode is one parsed value: a scalar, an insertion-ordered mapping,
+// or a sequence. Every node remembers its source line for schema errors.
+type yamlNode struct {
+	line   int
+	kind   yKind
+	scalar string
+	keys   []string // yMap
+	vals   []*yamlNode
+	items  []*yamlNode // ySeq
+}
+
+func (n *yamlNode) get(key string) *yamlNode {
+	for i, k := range n.keys {
+		if k == key {
+			return n.vals[i]
+		}
+	}
+	return nil
+}
+
+// srcLine is one significant source line after comment stripping.
+type srcLine struct {
+	n      int // 1-based line number
+	indent int
+	text   string // trimmed content
+}
+
+type yparser struct {
+	lines []srcLine
+	pos   int
+	nodes int
+}
+
+// parseYAML decodes data into a node tree. The document root must be a
+// mapping.
+func parseYAML(data []byte) (*yamlNode, error) {
+	if len(data) > maxYAMLBytes {
+		return nil, &ParseError{0, fmt.Sprintf("document larger than %d bytes", maxYAMLBytes)}
+	}
+	if !utf8.Valid(data) {
+		return nil, &ParseError{0, "document is not valid UTF-8"}
+	}
+	var lines []srcLine
+	for i, raw := range strings.Split(string(data), "\n") {
+		text, err := stripComment(raw, i+1)
+		if err != nil {
+			return nil, err
+		}
+		body := strings.TrimSpace(text)
+		if body == "" {
+			continue
+		}
+		if strings.HasPrefix(body, "%") || body == "---" || body == "..." {
+			return nil, &ParseError{i + 1, "directives and document markers are not supported"}
+		}
+		indent := len(text) - len(strings.TrimLeft(text, " "))
+		lines = append(lines, srcLine{n: i + 1, indent: indent, text: body})
+	}
+	if len(lines) == 0 {
+		return nil, &ParseError{0, "empty document"}
+	}
+	p := &yparser{lines: lines}
+	root, err := p.block(lines[0].indent, 0)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.lines) {
+		l := p.lines[p.pos]
+		return nil, &ParseError{l.n, fmt.Sprintf("content at indent %d after the document root closed", l.indent)}
+	}
+	if root.kind != yMap {
+		return nil, &ParseError{lines[0].n, "document root must be a mapping"}
+	}
+	return root, nil
+}
+
+// stripComment removes a trailing "# ..." comment, honoring quotes, and
+// rejects tabs (YAML forbids them in indentation, and allowing them in
+// content only invites invisible-whitespace bugs).
+func stripComment(raw string, line int) (string, error) {
+	if strings.ContainsRune(raw, '\t') {
+		return "", &ParseError{line, "tab character (use spaces)"}
+	}
+	var quote rune
+	for i, r := range raw {
+		switch {
+		case quote != 0:
+			if r == quote {
+				quote = 0
+			}
+		case r == '"' || r == '\'':
+			quote = r
+		case r == '#':
+			if i == 0 || raw[i-1] == ' ' {
+				return raw[:i], nil
+			}
+		}
+	}
+	return raw, nil
+}
+
+// block parses the node starting at the current position, whose lines all
+// sit at exactly indent.
+func (p *yparser) block(indent, depth int) (*yamlNode, error) {
+	if depth > maxYAMLDepth {
+		return nil, &ParseError{p.lines[p.pos].n, "nesting too deep"}
+	}
+	if strings.HasPrefix(p.lines[p.pos].text, "- ") || p.lines[p.pos].text == "-" {
+		return p.sequence(indent, depth)
+	}
+	return p.mapping(indent, depth)
+}
+
+func (p *yparser) node() (*yamlNode, error) {
+	p.nodes++
+	if p.nodes > maxYAMLNodes {
+		return nil, &ParseError{p.lines[p.pos-1].n, "too many nodes"}
+	}
+	return &yamlNode{}, nil
+}
+
+// sequence parses consecutive "- ..." lines at indent. A non-empty item
+// body is re-parsed as a block whose indent is the dash column plus two,
+// which is how the compact "- key: value" mapping form nests; its
+// continuation lines must use exactly that indent.
+func (p *yparser) sequence(indent, depth int) (*yamlNode, error) {
+	seq, err := p.node()
+	if err != nil {
+		return nil, err
+	}
+	seq.kind = ySeq
+	seq.line = p.lines[p.pos].n
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent != indent || (l.text != "-" && !strings.HasPrefix(l.text, "- ")) {
+			if l.indent > indent {
+				return nil, &ParseError{l.n, fmt.Sprintf("bad indent %d inside sequence at indent %d", l.indent, indent)}
+			}
+			break
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(l.text, "-"))
+		if rest == "" {
+			// "-" alone: the item is the deeper block on the next lines.
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				return nil, &ParseError{l.n, "sequence item has no value"}
+			}
+			item, err := p.block(p.lines[p.pos].indent, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			seq.items = append(seq.items, item)
+			continue
+		}
+		// Compact item: rewrite this line as the first line of a block
+		// two columns deeper and parse from it.
+		p.lines[p.pos] = srcLine{n: l.n, indent: indent + 2, text: rest}
+		item, err := p.itemValue(indent+2, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		seq.items = append(seq.items, item)
+	}
+	return seq, nil
+}
+
+// itemValue parses a compact sequence item: a nested block when the first
+// line looks like a mapping entry or dash, a scalar otherwise.
+func (p *yparser) itemValue(indent, depth int) (*yamlNode, error) {
+	l := p.lines[p.pos]
+	if key, _, ok := splitKey(l.text); ok && key != "" {
+		return p.block(indent, depth)
+	}
+	if strings.HasPrefix(l.text, "- ") || l.text == "-" {
+		return p.block(indent, depth)
+	}
+	p.pos++
+	return p.scalarNode(l)
+}
+
+// mapping parses consecutive "key: value" lines at indent.
+func (p *yparser) mapping(indent, depth int) (*yamlNode, error) {
+	m, err := p.node()
+	if err != nil {
+		return nil, err
+	}
+	m.kind = yMap
+	m.line = p.lines[p.pos].n
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent != indent {
+			if l.indent > indent {
+				return nil, &ParseError{l.n, fmt.Sprintf("bad indent %d inside mapping at indent %d", l.indent, indent)}
+			}
+			break
+		}
+		key, rest, ok := splitKey(l.text)
+		if !ok {
+			return nil, &ParseError{l.n, fmt.Sprintf("expected 'key: value', got %q", l.text)}
+		}
+		if m.get(key) != nil {
+			return nil, &ParseError{l.n, fmt.Sprintf("duplicate key %q", key)}
+		}
+		p.pos++
+		var val *yamlNode
+		if rest == "" {
+			// Value is the deeper block on the following lines.
+			if p.pos >= len(p.lines) || p.pos < len(p.lines) && p.lines[p.pos].indent <= indent {
+				return nil, &ParseError{l.n, fmt.Sprintf("key %q has no value", key)}
+			}
+			val, err = p.block(p.lines[p.pos].indent, depth+1)
+		} else {
+			val, err = p.inlineValue(rest, l.n)
+		}
+		if err != nil {
+			return nil, err
+		}
+		m.keys = append(m.keys, key)
+		m.vals = append(m.vals, val)
+	}
+	return m, nil
+}
+
+// splitKey splits "key: rest" (or "key:"), requiring the restricted key
+// alphabet the DSL uses. Reports ok false when the line is not a mapping
+// entry.
+func splitKey(text string) (key, rest string, ok bool) {
+	i := strings.IndexByte(text, ':')
+	if i <= 0 {
+		return "", "", false
+	}
+	key = text[:i]
+	for _, r := range key {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-':
+		default:
+			return "", "", false
+		}
+	}
+	rest = text[i+1:]
+	if rest != "" && rest[0] != ' ' {
+		return "", "", false // "a:b" is a plain scalar, not an entry
+	}
+	return key, strings.TrimSpace(rest), true
+}
+
+// inlineValue parses the value part of "key: value": a flow sequence or a
+// scalar.
+func (p *yparser) inlineValue(text string, line int) (*yamlNode, error) {
+	if strings.HasPrefix(text, "[") {
+		return p.flowSeq(text, line)
+	}
+	if strings.HasPrefix(text, "{") {
+		return nil, &ParseError{line, "flow mappings are not supported"}
+	}
+	if strings.HasPrefix(text, "&") || strings.HasPrefix(text, "*") {
+		return nil, &ParseError{line, "anchors and aliases are not supported"}
+	}
+	n, err := p.node()
+	if err != nil {
+		return nil, err
+	}
+	n.line = line
+	s, err := unquote(text, line)
+	if err != nil {
+		return nil, err
+	}
+	n.scalar = s
+	return n, nil
+}
+
+func (p *yparser) scalarNode(l srcLine) (*yamlNode, error) {
+	n, err := p.node()
+	if err != nil {
+		return nil, err
+	}
+	n.line = l.n
+	s, err := unquote(l.text, l.n)
+	if err != nil {
+		return nil, err
+	}
+	n.scalar = s
+	return n, nil
+}
+
+// flowSeq parses "[a, b, c]" into a sequence of scalars.
+func (p *yparser) flowSeq(text string, line int) (*yamlNode, error) {
+	if !strings.HasSuffix(text, "]") {
+		return nil, &ParseError{line, "unterminated flow sequence"}
+	}
+	body := strings.TrimSpace(text[1 : len(text)-1])
+	seq, err := p.node()
+	if err != nil {
+		return nil, err
+	}
+	seq.kind = ySeq
+	seq.line = line
+	if body == "" {
+		return seq, nil
+	}
+	for _, part := range strings.Split(body, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, &ParseError{line, "empty element in flow sequence"}
+		}
+		if strings.ContainsAny(part, "[]{}") {
+			return nil, &ParseError{line, "nested flow collections are not supported"}
+		}
+		item, err := p.node()
+		if err != nil {
+			return nil, err
+		}
+		item.line = line
+		s, err := unquote(part, line)
+		if err != nil {
+			return nil, err
+		}
+		item.scalar = s
+		seq.items = append(seq.items, item)
+	}
+	return seq, nil
+}
+
+// unquote strips one level of single or double quotes. Double quotes
+// support the \" \\ \n \t escapes; single quotes are literal.
+func unquote(s string, line int) (string, error) {
+	if len(s) == 0 {
+		return s, nil
+	}
+	switch s[0] {
+	case '"':
+		if len(s) < 2 || s[len(s)-1] != '"' {
+			return "", &ParseError{line, "unterminated double-quoted scalar"}
+		}
+		var b strings.Builder
+		body := s[1 : len(s)-1]
+		for i := 0; i < len(body); i++ {
+			c := body[i]
+			if c != '\\' {
+				b.WriteByte(c)
+				continue
+			}
+			i++
+			if i >= len(body) {
+				return "", &ParseError{line, "dangling escape in scalar"}
+			}
+			switch body[i] {
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			default:
+				return "", &ParseError{line, fmt.Sprintf("unsupported escape \\%c", body[i])}
+			}
+		}
+		return b.String(), nil
+	case '\'':
+		if len(s) < 2 || s[len(s)-1] != '\'' {
+			return "", &ParseError{line, "unterminated single-quoted scalar"}
+		}
+		return s[1 : len(s)-1], nil
+	}
+	return s, nil
+}

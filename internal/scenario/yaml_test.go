@@ -1,0 +1,203 @@
+package scenario
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func mustParseYAML(t *testing.T, src string) *yamlNode {
+	t.Helper()
+	root, err := parseYAML([]byte(src))
+	if err != nil {
+		t.Fatalf("parseYAML: %v", err)
+	}
+	return root
+}
+
+func scalarAt(t *testing.T, n *yamlNode, key string) string {
+	t.Helper()
+	v := n.get(key)
+	if v == nil {
+		t.Fatalf("missing key %q", key)
+	}
+	if v.kind != yScalar {
+		t.Fatalf("key %q: want scalar, got kind %d", key, v.kind)
+	}
+	return v.scalar
+}
+
+func TestParseYAMLBasics(t *testing.T) {
+	root := mustParseYAML(t, `# leading comment
+name: demo
+count: 3
+note: "quoted # hash"  # trailing comment
+empty_list: []
+apps: [OCR, ChessGame, 'Virus Scan']
+platform:
+  kind: rattrap
+  nested:
+    deep: yes
+fleet:
+  - cohort: a
+    devices: 10
+  - cohort: b
+    devices: 20
+loose:
+  -
+    solo: 1
+`)
+	if got := scalarAt(t, root, "name"); got != "demo" {
+		t.Errorf("name = %q", got)
+	}
+	if got := scalarAt(t, root, "note"); got != "quoted # hash" {
+		t.Errorf("note = %q (comment stripping inside quotes broken)", got)
+	}
+	if el := root.get("empty_list"); el == nil || el.kind != ySeq || len(el.items) != 0 {
+		t.Errorf("empty_list: want empty sequence, got %+v", el)
+	}
+	apps := root.get("apps")
+	if apps == nil || apps.kind != ySeq || len(apps.items) != 3 {
+		t.Fatalf("apps: want 3-element flow sequence, got %+v", apps)
+	}
+	if apps.items[2].scalar != "Virus Scan" {
+		t.Errorf("apps[2] = %q", apps.items[2].scalar)
+	}
+	pl := root.get("platform")
+	if pl == nil || pl.kind != yMap {
+		t.Fatalf("platform: want mapping")
+	}
+	if got := scalarAt(t, pl.get("nested"), "deep"); got != "yes" {
+		t.Errorf("platform.nested.deep = %q", got)
+	}
+	fleet := root.get("fleet")
+	if fleet == nil || fleet.kind != ySeq || len(fleet.items) != 2 {
+		t.Fatalf("fleet: want 2-item sequence, got %+v", fleet)
+	}
+	if got := scalarAt(t, fleet.items[1], "devices"); got != "20" {
+		t.Errorf("fleet[1].devices = %q", got)
+	}
+	loose := root.get("loose")
+	if loose == nil || loose.kind != ySeq || len(loose.items) != 1 {
+		t.Fatalf("loose: want 1-item sequence (bare dash form), got %+v", loose)
+	}
+	if got := scalarAt(t, loose.items[0], "solo"); got != "1" {
+		t.Errorf("loose[0].solo = %q", got)
+	}
+}
+
+func TestParseYAMLQuoting(t *testing.T) {
+	root := mustParseYAML(t, `dq: "a\"b\\c\nd\te"
+sq: 'it''s not doubled here'
+plain: a:b
+`)
+	if got := scalarAt(t, root, "dq"); got != "a\"b\\c\nd\te" {
+		t.Errorf("dq = %q", got)
+	}
+	// Single quotes are literal in this subset (no '' doubling).
+	if got := scalarAt(t, root, "sq"); got != "it''s not doubled here" {
+		t.Errorf("sq = %q", got)
+	}
+	// "a:b" with no space after the colon is a plain scalar, not a map.
+	if got := scalarAt(t, root, "plain"); got != "a:b" {
+		t.Errorf("plain = %q", got)
+	}
+}
+
+func TestParseYAMLErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		frag string // substring expected in the error
+	}{
+		{"tab", "a: 1\n\tb: 2\n", "tab"},
+		{"directive", "%YAML 1.2\na: 1\n", "directives"},
+		{"doc-marker", "---\na: 1\n", "directives"},
+		{"flow-map", "a: {b: 1}\n", "flow mappings"},
+		{"anchor", "a: &x 1\n", "anchors"},
+		{"alias", "a: *x\n", "anchors"},
+		{"dup-key", "a: 1\na: 2\n", "duplicate key"},
+		{"no-value", "a:\n", "has no value"},
+		{"bad-indent-map", "a: 1\n  b: 2\n", "bad indent"},
+		{"bad-indent-seq", "a:\n  - x\n    - y\n", "bad indent"},
+		{"not-an-entry", "just a scalar line\n", "expected 'key: value'"},
+		{"root-seq", "- a\n- b\n", "root must be a mapping"},
+		{"empty", "   \n# only comments\n", "empty document"},
+		{"empty-dash", "a:\n  -\n", "no value"},
+		{"unterminated-dq", `a: "oops` + "\n", "unterminated"},
+		{"unterminated-sq", "a: 'oops\n", "unterminated"},
+		{"bad-escape", `a: "\q"` + "\n", "unsupported escape"},
+		{"unterminated-flow", "a: [1, 2\n", "unterminated flow"},
+		{"empty-flow-elem", "a: [1, , 2]\n", "empty element"},
+		{"nested-flow", "a: [[1], 2]\n", "nested flow"},
+		{"not-utf8", "a: 1\nb: \xff\xfe\n", "UTF-8"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseYAML([]byte(tc.src))
+			if err == nil {
+				t.Fatalf("want error, got nil")
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("want *ParseError, got %T: %v", err, err)
+			}
+			if !strings.Contains(err.Error(), tc.frag) {
+				t.Errorf("error %q does not mention %q", err, tc.frag)
+			}
+		})
+	}
+}
+
+func TestParseYAMLLimits(t *testing.T) {
+	t.Run("oversize", func(t *testing.T) {
+		big := append(bytes.Repeat([]byte{' '}, maxYAMLBytes), []byte("a: 1\n")...)
+		_, err := parseYAML(big)
+		var pe *ParseError
+		if !errors.As(err, &pe) || !strings.Contains(err.Error(), "larger than") {
+			t.Fatalf("oversize: got %v", err)
+		}
+	})
+	t.Run("too-deep", func(t *testing.T) {
+		var b strings.Builder
+		for i := 0; i <= maxYAMLDepth+1; i++ {
+			b.WriteString(strings.Repeat("  ", i))
+			b.WriteString("k:\n")
+		}
+		b.WriteString(strings.Repeat("  ", maxYAMLDepth+2))
+		b.WriteString("leaf: 1\n")
+		_, err := parseYAML([]byte(b.String()))
+		var pe *ParseError
+		if !errors.As(err, &pe) || !strings.Contains(err.Error(), "nesting too deep") {
+			t.Fatalf("too-deep: got %v", err)
+		}
+	})
+	t.Run("too-many-nodes", func(t *testing.T) {
+		var b strings.Builder
+		b.WriteString("a: [")
+		for i := 0; i < maxYAMLNodes+2; i++ {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString("x")
+		}
+		b.WriteString("]\n")
+		_, err := parseYAML([]byte(b.String()))
+		var pe *ParseError
+		if !errors.As(err, &pe) || !strings.Contains(err.Error(), "too many nodes") {
+			t.Fatalf("too-many-nodes: got %v", err)
+		}
+	})
+}
+
+func TestParseYAMLLineNumbers(t *testing.T) {
+	_, err := parseYAML([]byte("a: 1\nb: 2\nc: {bad: 1}\n"))
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *ParseError, got %v", err)
+	}
+	if pe.Line != 3 {
+		t.Errorf("error line = %d, want 3", pe.Line)
+	}
+}
