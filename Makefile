@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz lint bench bench-allocs bench-realtime bench-throughput bench-cluster bench-autoscale bench-faults bench-stages bench-scenario scenario-validate ci clean
+.PHONY: all build vet test race fuzz lint bench bench-allocs bench-realtime bench-throughput bench-cluster bench-autoscale bench-faults bench-stages bench-boot bench-scenario scenario-validate ci clean
 
 all: ci
 
@@ -43,10 +43,11 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkRealtimeRoundtrip|BenchmarkServerThroughput|BenchmarkDispatcherAcquire' \
 		-benchmem ./internal/realtime/ ./internal/core/ | tee bench.out
 
-# Short fuzz passes over the wire-frame codec and the scenario decoder
-# (CI runs the same smokes).
+# Short fuzz passes over the wire-frame codec, the content chunker, and
+# the scenario decoder (CI runs the same smokes).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzFrameCodec -fuzztime 30s ./internal/offload/
+	$(GO) test -run '^$$' -fuzz FuzzChunker -fuzztime 30s ./internal/offload/
 	$(GO) test -run '^$$' -fuzz FuzzScenarioDecode -fuzztime 30s ./internal/scenario/
 
 # Allocation gate: allocs/op on the binary-wire warehouse-hit path must
@@ -83,6 +84,12 @@ bench-faults:
 # two same-seed runs differ or stages stop reconciling with end-to-end).
 bench-stages:
 	$(GO) run ./cmd/rattrap-bench -stages
+
+# Regenerates BENCH_boot.json (cold boot vs template clone vs warehouse
+# delta push; fails if the clone speedup drops below 10x, the family
+# delta reaches 30% of the full push, or two same-seed runs differ).
+bench-boot:
+	$(GO) run ./cmd/rattrap-bench -boot
 
 # Validates every checked-in scenario file (syntax + schema, no run).
 scenario-validate:

@@ -16,6 +16,7 @@ go test -race -timeout 30m ./...
 
 echo "== fuzz smoke"
 go test -run '^$' -fuzz FuzzFrameCodec -fuzztime 10s ./internal/offload/
+go test -run '^$' -fuzz FuzzChunker -fuzztime 10s ./internal/offload/
 go test -run '^$' -fuzz FuzzScenarioDecode -fuzztime 10s ./internal/scenario/
 
 echo "== benchmarks"
@@ -29,6 +30,13 @@ trap 'rm -rf "$scratch"' EXIT
 
 echo "== stage breakdown (determinism + reconcile gate)"
 go run ./cmd/rattrap-bench -stages -out "$scratch"
+
+echo "== boot gate (template-clone speedup + warehouse delta, double-run determinism)"
+go run ./cmd/rattrap-bench -boot -out "$scratch"
+mkdir -p "$scratch/boot2"
+go run ./cmd/rattrap-bench -boot -out "$scratch/boot2" > /dev/null
+# The boot report is entirely virtual-time: the whole file must match.
+diff "$scratch/BENCH_boot.json" "$scratch/boot2/BENCH_boot.json"
 
 echo "== realtime latency gate (p50 vs checked-in baseline)"
 go run ./cmd/rattrap-bench -realtime -out "$scratch" -baseline BENCH_realtime.json
@@ -71,10 +79,11 @@ diff "$scratch/BENCH_autoscale.json" "$scratch/as2/BENCH_autoscale.json"
 echo "== scenario validate (every checked-in scenario must decode)"
 go run ./cmd/rattrap-bench -scenario-validate scenarios
 
-echo "== scenario gates (three fastest checked-in scenarios, hard assertions)"
+echo "== scenario gates (fastest checked-in scenarios, hard assertions)"
 go run ./cmd/rattrap-bench -scenario scenarios/overload-shed.yaml -out "$scratch"
 go run ./cmd/rattrap-bench -scenario scenarios/boot-storm.yaml -out "$scratch"
 go run ./cmd/rattrap-bench -scenario scenarios/exec-flaky.yaml -out "$scratch"
+go run ./cmd/rattrap-bench -scenario scenarios/warm-fleet.yaml -out "$scratch"
 
 echo "== scenario determinism (double run, byte-identical report)"
 go run ./cmd/rattrap-bench -scenario scenarios/baseline.yaml -out "$scratch" > /dev/null

@@ -1,0 +1,246 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"rattrap/internal/core"
+	"rattrap/internal/device"
+	"rattrap/internal/host"
+	"rattrap/internal/netsim"
+	"rattrap/internal/offload"
+	"rattrap/internal/sim"
+	"rattrap/internal/workload"
+)
+
+// The boot mode measures the cold-prepare kill: the same runtime class
+// booted cold, booted by cloning the captured template, and an app
+// family's code pushed full vs as a content-addressed delta. All times
+// are virtual, so the report is bit-deterministic per seed — the mode
+// runs everything twice and refuses to emit a report the second run does
+// not reproduce byte-for-byte. The ISSUE's acceptance floors are enforced
+// here, not just reported: template clones must be >=10x faster than cold
+// boots, and the family delta must move <30% of the full-push bytes.
+
+const (
+	bootBenchRuntimes  = 6
+	bootSpeedupFloor   = 10.0
+	deltaRatioCeiling  = 0.30
+	deltaFamilyBase    = 5 * host.MB
+	deltaFamilyVariant = 5*host.MB + 512*host.KB
+)
+
+type bootCell struct {
+	Boots      int   `json:"boots"`
+	MeanBootNs int64 `json:"mean_boot_ns"`
+	MaxBootNs  int64 `json:"max_boot_ns"`
+}
+
+type templateCell struct {
+	Boots         int     `json:"boots"`
+	CaptureBootNs int64   `json:"capture_boot_ns"`
+	CloneMeanNs   int64   `json:"clone_mean_boot_ns"`
+	CloneMaxNs    int64   `json:"clone_max_boot_ns"`
+	SpeedupX      float64 `json:"speedup_x"`
+}
+
+type deltaCell struct {
+	App            string  `json:"app"`
+	FullPushBytes  int64   `json:"full_push_bytes"`
+	DeltaPushBytes int64   `json:"delta_push_bytes"`
+	Ratio          float64 `json:"ratio"`
+	SharedChunks   int     `json:"shared_chunks"`
+	TotalChunks    int     `json:"total_chunks"`
+}
+
+type bootReport struct {
+	Seed     int64        `json:"seed"`
+	Cold     bootCell     `json:"cold"`
+	Template templateCell `json:"template"`
+	Delta    deltaCell    `json:"warehouse_delta"`
+}
+
+// runBootBench writes BENCH_boot.json into dir (or the working directory
+// when dir is empty).
+func runBootBench(seed int64, dir string) error {
+	rep, first, err := bootOnce(seed)
+	if err != nil {
+		return err
+	}
+	_, second, err := bootOnce(seed)
+	if err != nil {
+		return fmt.Errorf("second run: %w", err)
+	}
+	if string(first) != string(second) {
+		return fmt.Errorf("boot benchmark is not deterministic: two runs with seed %d differ", seed)
+	}
+	path := "BENCH_boot.json"
+	if dir != "" {
+		path = filepath.Join(dir, path)
+	}
+	if err := os.WriteFile(path, first, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("boot: cold mean %v, template clone mean %v (%.1fx); family delta %.1f%% of full push; report in %s\n",
+		time.Duration(rep.Cold.MeanBootNs), time.Duration(rep.Template.CloneMeanNs),
+		rep.Template.SpeedupX, rep.Delta.Ratio*100, path)
+	return nil
+}
+
+func bootOnce(seed int64) (*bootReport, []byte, error) {
+	rep := &bootReport{Seed: seed}
+
+	cold, err := bootCellRun(seed, false)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cold cell: %w", err)
+	}
+	var coldTotal, coldMax int64
+	for _, d := range cold {
+		coldTotal += d.Nanoseconds()
+		if d.Nanoseconds() > coldMax {
+			coldMax = d.Nanoseconds()
+		}
+	}
+	rep.Cold = bootCell{
+		Boots:      len(cold),
+		MeanBootNs: coldTotal / int64(len(cold)),
+		MaxBootNs:  coldMax,
+	}
+
+	tmpl, err := bootCellRun(seed, true)
+	if err != nil {
+		return nil, nil, fmt.Errorf("template cell: %w", err)
+	}
+	clones := tmpl[1:] // boot 0 is the full capture boot
+	var cloneTotal, cloneMax int64
+	for _, d := range clones {
+		cloneTotal += d.Nanoseconds()
+		if d.Nanoseconds() > cloneMax {
+			cloneMax = d.Nanoseconds()
+		}
+	}
+	rep.Template = templateCell{
+		Boots:         len(tmpl),
+		CaptureBootNs: tmpl[0].Nanoseconds(),
+		CloneMeanNs:   cloneTotal / int64(len(clones)),
+		CloneMaxNs:    cloneMax,
+	}
+	rep.Template.SpeedupX = float64(rep.Cold.MeanBootNs) / float64(rep.Template.CloneMeanNs)
+	if rep.Template.SpeedupX < bootSpeedupFloor {
+		return nil, nil, fmt.Errorf("template clone speedup %.1fx is below the %.0fx floor (cold %v, clone %v)",
+			rep.Template.SpeedupX, bootSpeedupFloor,
+			time.Duration(rep.Cold.MeanBootNs), time.Duration(rep.Template.CloneMeanNs))
+	}
+
+	delta, err := deltaCellRun(seed)
+	if err != nil {
+		return nil, nil, fmt.Errorf("delta cell: %w", err)
+	}
+	rep.Delta = *delta
+	if rep.Delta.Ratio >= deltaRatioCeiling {
+		return nil, nil, fmt.Errorf("family delta is %.0f%% of the full push, want < %.0f%%",
+			rep.Delta.Ratio*100, deltaRatioCeiling*100)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, nil, err
+	}
+	return rep, append(buf, '\n'), nil
+}
+
+// bootCellRun boots bootBenchRuntimes runtimes back to back on a fresh
+// Rattrap platform and returns their durations in boot order.
+func bootCellRun(seed int64, templateBoot bool) ([]time.Duration, error) {
+	e := sim.NewEngine(seed)
+	cfg := core.DefaultConfig(core.KindRattrap)
+	cfg.MaxRuntimes = bootBenchRuntimes
+	cfg.TemplateBoot = templateBoot
+	pl := core.New(e, cfg)
+	var bootErr error
+	e.Spawn("boot-bench", func(p *sim.Proc) {
+		for i := 0; i < bootBenchRuntimes; i++ {
+			if _, err := pl.BootRuntime(p); err != nil {
+				bootErr = err
+				return
+			}
+		}
+	})
+	e.Run()
+	if bootErr != nil {
+		return nil, bootErr
+	}
+	boots := pl.BootDurations()
+	if len(boots) != bootBenchRuntimes {
+		return nil, fmt.Errorf("booted %d runtimes, want %d", len(boots), bootBenchRuntimes)
+	}
+	return boots, nil
+}
+
+// deltaCellRun pushes an app family (same app, two code sizes sharing
+// their library prefix) from two chunked devices and reports the bytes
+// the second push actually moved.
+func deltaCellRun(seed int64) (*deltaCell, error) {
+	e := sim.NewEngine(seed)
+	cfg := core.DefaultConfig(core.KindRattrap)
+	cfg.ChunkedPush = true
+	pl := core.New(e, cfg)
+	app, err := workload.ByName(workload.NameLinpack)
+	if err != nil {
+		return nil, err
+	}
+
+	var runErr error
+	var deltaUp host.Bytes
+	e.Spawn("delta-bench", func(p *sim.Proc) {
+		d1, err := device.New(e, "phone-1", netsim.LANWiFi())
+		if err != nil {
+			runErr = err
+			return
+		}
+		d2, err := device.New(e, "phone-2", netsim.LANWiFi())
+		if err != nil {
+			runErr = err
+			return
+		}
+		d1.EnableChunkedPush(true)
+		d2.EnableChunkedPush(true)
+		if _, _, err := d1.Offload(p, d1.NewTask(app), deltaFamilyBase, pl); err != nil {
+			runErr = err
+			return
+		}
+		if _, _, err := d2.Offload(p, d2.NewTask(app), deltaFamilyVariant, pl); err != nil {
+			runErr = err
+			return
+		}
+		deltaUp = d2.Traffic().CodeUp
+	})
+	e.Run()
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	base := offload.SyntheticManifest(app.Name(), deltaFamilyBase)
+	variant := offload.SyntheticManifest(app.Name(), deltaFamilyVariant)
+	have := make(map[uint32]bool, len(base))
+	for _, h := range base {
+		have[h] = true
+	}
+	shared := 0
+	for _, h := range variant {
+		if have[h] {
+			shared++
+		}
+	}
+	return &deltaCell{
+		App:            app.Name(),
+		FullPushBytes:  int64(deltaFamilyVariant),
+		DeltaPushBytes: int64(deltaUp),
+		Ratio:          float64(deltaUp) / float64(deltaFamilyVariant),
+		SharedChunks:   shared,
+		TotalChunks:    len(variant),
+	}, nil
+}

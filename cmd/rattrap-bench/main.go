@@ -39,6 +39,7 @@ func main() {
 	allocs := flag.Bool("allocs", false, "gate allocs/op on the binary-wire warehouse-hit path (absolute ceiling + baseline fence)")
 	flt := flag.Bool("faults", false, "sweep the standard fault plans and write BENCH_faults.json")
 	stages := flag.Bool("stages", false, "emit the per-stage latency breakdown as BENCH_stages.json")
+	boot := flag.Bool("boot", false, "measure cold vs template-clone boots and the warehouse delta push, write BENCH_boot.json")
 	ascale := flag.Bool("autoscale", false, "race the elastic pool against fixed pools under bursty arrivals and write BENCH_autoscale.json")
 	scen := flag.String("scenario", "", "run one YAML chaos scenario and write BENCH_scenario.json (exit 1 on failed assertions)")
 	scenValidate := flag.String("scenario-validate", "", "parse and validate a scenario file or every *.yaml in a directory, without running")
@@ -110,6 +111,14 @@ func main() {
 	if *stages {
 		if err := runStagesBench(*seed, *out); err != nil {
 			fmt.Fprintf(os.Stderr, "rattrap-bench: stages: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *boot {
+		if err := runBootBench(*seed, *out); err != nil {
+			fmt.Fprintf(os.Stderr, "rattrap-bench: boot: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -232,6 +232,86 @@ func Boot(p *sim.Proc, env Env, cfg BootConfig) (*Runtime, error) {
 	return r, nil
 }
 
+// Template is a captured boot: the process census, memory footprint and
+// boot flavor of a fully booted runtime, frozen at the post-driver-load,
+// post-zygote point. CloneBoot thaws it into a fresh environment without
+// re-running the Figure 6 sequence.
+type Template struct {
+	cfg   BootConfig
+	procs []Process
+	memMB int
+}
+
+// CaptureTemplate freezes this runtime's booted user-space state for
+// CloneBoot. The source runtime keeps serving; the capture shares nothing
+// mutable with it.
+func (r *Runtime) CaptureTemplate() *Template {
+	return &Template{cfg: r.cfg, procs: append([]Process(nil), r.procs...), memMB: r.memMB}
+}
+
+// MemMB reports the template image's resident footprint.
+func (t *Template) MemMB() int { return t.memMB }
+
+// cloneThawWork is the fixed CPU a clone pays to thaw the frozen process
+// image and re-key it to its own namespace (CRIU-style restore: remap
+// Binder handles, fix up pids, resume threads).
+const cloneThawWork host.Work = 24
+
+// CloneBoot brings up Android inside env by thawing tmpl instead of
+// booting. The environment's rootfs already carries the template's boot
+// artifacts (dalvik-cache, properties, logs) through its cloned union
+// mount, so the clone skips the zygote preload reads, the init/zygote/
+// service compute, and the boot writes. It still opens the Android
+// devices in its own namespace and registers its services on its own
+// Binder context — per-namespace kernel state cannot be cloned from user
+// space — and its memory is charged as one frozen image.
+func CloneBoot(p *sim.Proc, env Env, tmpl *Template) (*Runtime, error) {
+	r := &Runtime{env: env, cfg: tmpl.cfg, loaded: make(map[string]host.Bytes), offload: env.FS()}
+	h := env.Host()
+	start := p.E.Now()
+
+	for _, dev := range acd.RequiredDevices() {
+		hnd, err := env.OpenDevice(dev)
+		if err != nil {
+			r.closeDevices()
+			return nil, fmt.Errorf("android: %s: clone: opening %s: %w", env.Name(), dev, err)
+		}
+		r.devs = append(r.devs, hnd)
+		switch dev {
+		case acd.DevBinder:
+			r.binder = hnd.State().(*binder.Context)
+		case acd.DevLogMain:
+			r.logger = hnd.State().(*acd.Logger)
+		}
+	}
+
+	// One allocation for the whole frozen image; the per-process split is
+	// restored from the capture.
+	if err := env.AllocMem(tmpl.memMB); err != nil {
+		r.closeDevices()
+		return nil, fmt.Errorf("android: %s: clone: %w", env.Name(), err)
+	}
+	r.memMB = tmpl.memMB
+	r.procs = append([]Process(nil), tmpl.procs...)
+	h.Compute(p, cloneThawWork, env.BootCPUEff())
+
+	for _, s := range services(tmpl.cfg.Customized) {
+		if _, err := r.binder.Register(s.name, r.serviceHandler(s.name)); err != nil {
+			r.teardown()
+			return nil, fmt.Errorf("android: %s: %w", env.Name(), err)
+		}
+	}
+	if _, err := r.binder.Register("offloadcontroller", r.serviceHandler("offloadcontroller")); err != nil {
+		r.teardown()
+		return nil, fmt.Errorf("android: %s: %w", env.Name(), err)
+	}
+	r.log("offloadcontroller", "thawed from template")
+
+	r.bootTime = (p.E.Now() - start).Duration()
+	r.up = true
+	return r, nil
+}
+
 // serviceHandler returns a trivial Binder handler for a system service.
 // The customized OS "fakes the key interfaces with direct returns" for
 // removed services; present services answer with a small parcel.

@@ -391,11 +391,18 @@ func TestExecFailuresCordonAndReplace(t *testing.T) {
 // edge taken must be in the legal matrix, and between events the live
 // census must always sum to the slot-list length. SetLifecycleHooks is
 // how we observe every single edge (so the test must not also SetObs,
-// which would overwrite the hooks).
+// which would overwrite the hooks). The template subtest runs the same
+// storm with TemplateBoot on, so clone boots walk the identical FSM.
 func TestLifecycleCensusInvariant(t *testing.T) {
+	t.Run("cold", func(t *testing.T) { lifecycleCensusStorm(t, false) })
+	t.Run("template", func(t *testing.T) { lifecycleCensusStorm(t, true) })
+}
+
+func lifecycleCensusStorm(t *testing.T, templateBoot bool) {
 	e := sim.NewEngine(7)
 	cfg := autoscaleTestConfig(0, 4)
 	cfg.Autoscale.CordonThreshold = 2
+	cfg.TemplateBoot = templateBoot
 	pl := New(e, cfg)
 
 	edges := 0

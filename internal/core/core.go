@@ -98,6 +98,21 @@ type Config struct {
 	// CIDPrefix, when set, prefixes every runtime CID this platform mints
 	// (cluster shards use "sN-" so runtime IDs stay unique cluster-wide).
 	CIDPrefix string
+	// TemplateBoot enables zygote-style template cloning (KindRattrap
+	// only): the first full boot is snapshotted at its post-driver-load,
+	// post-zygote point — a frozen union upper layer plus the booted
+	// process image — and every later boot COW-clones that template
+	// instead of re-running the Figure 6 sequence. Off (the default),
+	// every boot takes the cold path and existing goldens are untouched.
+	TemplateBoot bool
+	// ChunkedPush enables the content-addressed delta code push: devices
+	// offer their blob's chunk-hash manifest and transfer only the chunks
+	// the warehouse is missing. Off, every first push moves the full blob.
+	ChunkedPush bool
+	// WarehouseCapacity bounds the warehouse's staged code volume; once
+	// StoredBytes exceeds it, least-recently-bound entries are evicted.
+	// 0 (the default) keeps the historical unbounded behaviour.
+	WarehouseCapacity host.Bytes
 }
 
 // DefaultConfig mirrors the paper's experimental setup. The baselines
@@ -145,6 +160,18 @@ type Platform struct {
 
 	sharedLayer *unionfs.Layer // Rattrap: Shared Resource Layer (/system)
 	offloadIO   *unionfs.Mount // Rattrap: shared in-memory offloading I/O
+
+	// Template-boot state (cfg.TemplateBoot): the first full boot leaves
+	// behind a frozen upper-layer snapshot, the source mount to clone the
+	// union recipe from, and the captured process image. All nil until
+	// that first boot completes.
+	tmplLayer *unionfs.Layer
+	tmplSrc   *container.Container
+	tmpl      *android.Template
+
+	// bootSamples records every completed boot's duration in boot order;
+	// scenario boot-latency assertions aggregate it across shards.
+	bootSamples []time.Duration
 
 	// Dispatcher state (see dispatch.go): the pool in boot order, a CID
 	// index, the slot-selection policy, and the FIFO wait queue.
@@ -200,11 +227,12 @@ type slot struct {
 
 	acquiredAt sim.Time // when the current claim started (hold-time EWMA)
 
-	prev, next *slot           // pl.slots linkage
-	removed    bool            // unlinked from the pool; index entries are stale
-	cordoned   bool            // unschedulable; drains once idle (failuretracker.go)
-	inIdle     bool            // has a live entry in the scheduler's idle heap
-	inAff      map[string]bool // AIDs with a live entry in the affinity index
+	prev, next  *slot           // pl.slots linkage
+	removed     bool            // unlinked from the pool; index entries are stale
+	cordoned    bool            // unschedulable; drains once idle (failuretracker.go)
+	viaTemplate bool            // booted by cloning the runtime template
+	inIdle      bool            // has a live entry in the scheduler's idle heap
+	inAff       map[string]bool // AIDs with a live entry in the affinity index
 }
 
 type waiter struct {
@@ -274,7 +302,7 @@ func New(e *sim.Engine, cfg Config) *Platform {
 			panic(err) // static construction; cannot fail
 		}
 		pl.offloadIO = m
-		pl.warehouse = NewWarehouse(m)
+		pl.warehouse = NewWarehouse(e, m, cfg.WarehouseCapacity)
 	}
 	return pl
 }
@@ -391,7 +419,8 @@ func (pl *Platform) bootSlot(p *sim.Proc) (*slot, error) {
 			err error
 			bc  android.BootConfig
 		)
-		if pl.cfg.Kind == KindRattrapWO {
+		switch {
+		case pl.cfg.Kind == KindRattrapWO:
 			// Private full-Android rootfs, provisioned by copying the base
 			// image. The fresh copy's pages are page-cache resident, so —
 			// exactly like the measured 6.80 s — startup is CPU-bound; the
@@ -402,7 +431,16 @@ func (pl *Platform) bootSlot(p *sim.Proc) (*slot, error) {
 				container.DefaultConfig(id, memLimitWO),
 				unionfs.NewLayer(id+"-delta", false), rootfs)
 			bc = android.BootConfig{Manifest: pl.contManifest}
-		} else {
+		case pl.cfg.TemplateBoot && pl.tmpl != nil:
+			// Template fast path: COW-clone the captured boot instead of
+			// re-running it. The clone's union mount stacks a fresh empty
+			// delta over the frozen template upper, so its disk charge is
+			// only what it writes from here on.
+			c, err = container.Clone(p, pl.tmplSrc,
+				container.DefaultConfig(id, memLimitOpt),
+				unionfs.NewLayer(id+"-delta", false), pl.tmplLayer)
+			sl.viaTemplate = true
+		default:
 			c, err = container.Create(p, pl.Server, pl.Kernel,
 				container.DefaultConfig(id, memLimitOpt),
 				unionfs.NewLayer(id+"-delta", false), pl.sharedLayer)
@@ -411,13 +449,27 @@ func (pl *Platform) bootSlot(p *sim.Proc) (*slot, error) {
 		if err != nil {
 			return fail(err)
 		}
-		rt, err := android.Boot(p, c, bc)
+		var rt *android.Runtime
+		if sl.viaTemplate {
+			rt, err = android.CloneBoot(p, c, pl.tmpl)
+		} else {
+			rt, err = android.Boot(p, c, bc)
+		}
 		if err != nil {
 			c.Stop(p)
 			return fail(err)
 		}
 		if pl.cfg.Kind == KindRattrap {
 			rt.SetOffloadFS(pl.offloadIO)
+			if pl.cfg.TemplateBoot && pl.tmpl == nil {
+				// First full boot under template mode: freeze it. The
+				// snapshot deep-copies the upper layer's metadata (sharing
+				// only file payloads), so later writes by this runtime never
+				// leak into its clones.
+				pl.tmplLayer = c.FS().Upper().Snapshot(id + "-template")
+				pl.tmplSrc = c
+				pl.tmpl = rt.CaptureTemplate()
+			}
 		}
 		sl.env, sl.rt, sl.ctr = c, rt, c
 	default:
@@ -434,12 +486,26 @@ func (pl *Platform) bootSlot(p *sim.Proc) (*slot, error) {
 	sl.info.Processes = len(sl.rt.Processes())
 	sl.info.LastUsed = pl.E.Now()
 	pl.db.Transition(sl.id, LifecycleActive) // reserved for the caller
+	pl.bootSamples = append(pl.bootSamples, sl.info.BootTime)
 	if pl.om != nil {
 		pl.om.boots.Inc()
 		pl.om.bootTime.Observe(sl.info.BootTime)
+		if sl.viaTemplate {
+			pl.om.tmplClones.Inc()
+			pl.om.tmplClone.Observe(sl.info.BootTime)
+		}
 		pl.om.poolSize.Set(int64(pl.slots.n))
 	}
 	return sl, nil
+}
+
+// BootDurations returns a copy of every completed boot's duration, in
+// boot order. Scenario boot-latency assertions aggregate these across
+// cluster shards.
+func (pl *Platform) BootDurations() []time.Duration {
+	out := make([]time.Duration, len(pl.bootSamples))
+	copy(out, pl.bootSamples)
+	return out
 }
 
 func kindSlug(k Kind) string {
@@ -600,10 +666,77 @@ func (s *session) PushCode(p *sim.Proc, push offload.CodePush) error {
 	}
 	if s.pl.warehouse != nil {
 		s.pl.warehouse.BindCID(push.AID, s.sl.id)
+		s.pl.noteWarehouse()
 	}
 	s.sl.info.Traffic.CodeUp += push.Size
 	s.pushed = true
 	return nil
+}
+
+// NegotiateChunks implements offload.ChunkedSession: answer a device's
+// chunk-hash offer with the subset the warehouse is missing. A
+// Supported=false reply (chunked push disabled, or no warehouse) tells
+// the device to fall back to the full PushCode transfer.
+func (s *session) NegotiateChunks(p *sim.Proc, offer offload.ChunkOffer) (offload.ChunkNeed, error) {
+	need := offload.ChunkNeed{Seq: offer.Seq, AID: offer.AID}
+	if offer.AID != s.req.AID {
+		return need, fmt.Errorf("core: chunk offer AID %s does not match request %s", offer.AID, s.req.AID)
+	}
+	if !s.pl.cfg.ChunkedPush || s.pl.warehouse == nil {
+		return need, nil
+	}
+	need.Supported = true
+	need.Missing = s.pl.warehouse.MissingChunks(offer.Hashes)
+	return need, nil
+}
+
+// PushChunks completes a negotiated delta push: only the missing chunks
+// crossed the network; the warehouse stages them (in parallel) into the
+// content-addressed store, and the runtime loads the reassembled blob
+// from the warehouse.
+func (s *session) PushChunks(p *sim.Proc, offer offload.ChunkOffer, missing []uint32) error {
+	if offer.AID != s.req.AID {
+		return fmt.Errorf("core: chunk push AID %s does not match request %s", offer.AID, s.req.AID)
+	}
+	if !s.pl.cfg.ChunkedPush || s.pl.warehouse == nil {
+		return fmt.Errorf("core: %s: chunked push not negotiated", offer.AID)
+	}
+	sp := s.req.Span()
+	stageStart := s.stageStart(sp)
+	if err := s.pl.warehouse.PutChunked(p, offer.AID, offer.App, offer.Size, offer.Hashes, missing); err != nil {
+		return err
+	}
+	s.pl.warehouse.settle(offer.AID)
+	if err := s.sl.rt.LoadCode(p, offer.AID, offer.Size, true); err != nil {
+		return err
+	}
+	if d, on := s.stageEnd(stageStart); on {
+		sp.Add(obs.StageChunkStage, d)
+		if s.pl.om != nil {
+			s.pl.om.chunkStage.Observe(d)
+		}
+	}
+	s.pl.warehouse.BindCID(offer.AID, s.sl.id)
+	s.pl.noteWarehouse()
+	s.sl.info.Traffic.CodeUp += offload.DeltaBytes(offer, missing)
+	s.pushed = true
+	return nil
+}
+
+// noteWarehouse runs capacity enforcement after a staging event and
+// refreshes the warehouse volume instruments.
+func (pl *Platform) noteWarehouse() {
+	if pl.warehouse == nil {
+		return
+	}
+	dropped := pl.warehouse.EnforceCapacity()
+	if pl.om == nil {
+		return
+	}
+	if dropped > 0 {
+		pl.om.whEvictions.Add(int64(dropped))
+	}
+	pl.om.whBytes.Set(int64(pl.warehouse.StoredBytes()))
 }
 
 // Execute runs the task, enforcing the permission table on each workflow
@@ -797,6 +930,9 @@ func (pl *Platform) TotalDiskBytes() host.Bytes {
 	pl.slots.each(func(sl *slot) { t += pl.slotDiskBytes(sl) })
 	if pl.sharedLayer != nil {
 		t += pl.sharedLayer.Size()
+	}
+	if pl.tmplLayer != nil {
+		t += pl.tmplLayer.Size() // the frozen template upper, charged once
 	}
 	return t
 }

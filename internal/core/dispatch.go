@@ -146,7 +146,11 @@ func (pl *Platform) acquireSlot(p *sim.Proc, aid string, sp *obs.Span, abort *si
 		}
 		sl, err := pl.bootSlot(p)
 		if sp != nil && err == nil {
-			sp.Add(obs.StageBoot, (pl.E.Now() - start).Duration())
+			d := (pl.E.Now() - start).Duration()
+			sp.Add(obs.StageBoot, d)
+			if sl.viaTemplate {
+				sp.Add(obs.StageTemplateClone, d) // sub-stage view of the boot
+			}
 		}
 		return sl, err
 	}

@@ -15,8 +15,11 @@ type platformMetrics struct {
 	whHits      *obs.Counter // warehouse cache hits (code transfer skipped)
 	whMisses    *obs.Counter // warehouse misses (device must push code)
 	whCoalesced *obs.Counter // requests that waited on another's in-flight push
+	whEvictions *obs.Counter // entries dropped by capacity enforcement
+	whBytes     *obs.Gauge   // staged code volume (dedup'd chunk store counted once)
 
 	boots           *obs.Counter // runtime boots (request path and pre-warm)
+	tmplClones      *obs.Counter // boots satisfied by cloning the template
 	bootFails       *obs.Counter // boots that failed (incl. injected faults)
 	affinityHits    *obs.Counter // dispatches served by the AID-affinity index
 	queued          *obs.Counter // requests that waited in the FIFO ring
@@ -43,11 +46,13 @@ type platformMetrics struct {
 	lifeEdges  [numLifecycleStates][numLifecycleStates]*obs.Counter
 	lifeStates [numLifecycleStates]*obs.Gauge
 
-	queueWait *metrics.ShardedHistogram // virtual time parked in the wait ring
-	bootTime  *metrics.ShardedHistogram // virtual boot duration
-	codeStage *metrics.ShardedHistogram // virtual code staging (push path)
-	whLoad    *metrics.ShardedHistogram // virtual warehouse-sourced code load
-	runTime   *metrics.ShardedHistogram // virtual pure workload execution
+	queueWait  *metrics.ShardedHistogram // virtual time parked in the wait ring
+	bootTime   *metrics.ShardedHistogram // virtual boot duration
+	tmplClone  *metrics.ShardedHistogram // virtual boot duration, template clones only
+	codeStage  *metrics.ShardedHistogram // virtual code staging (push path)
+	chunkStage *metrics.ShardedHistogram // virtual chunk staging (delta push path)
+	whLoad     *metrics.ShardedHistogram // virtual warehouse-sourced code load
+	runTime    *metrics.ShardedHistogram // virtual pure workload execution
 }
 
 // SetObs points the platform at an observability registry. All dispatcher,
@@ -72,7 +77,10 @@ func (pl *Platform) SetObsPrefixed(reg *obs.Registry, prefix string) {
 		whHits:          reg.Counter(prefix + "warehouse.hits"),
 		whMisses:        reg.Counter(prefix + "warehouse.misses"),
 		whCoalesced:     reg.Counter(prefix + "warehouse.coalesced_pushes"),
+		whEvictions:     reg.Counter(prefix + "warehouse.evictions"),
+		whBytes:         reg.Gauge(prefix + "warehouse.bytes"),
 		boots:           reg.Counter(prefix + "dispatch.boots"),
+		tmplClones:      reg.Counter(prefix + "dispatch.template_clones"),
 		bootFails:       reg.Counter(prefix + "dispatch.boot_failures"),
 		affinityHits:    reg.Counter(prefix + "dispatch.affinity_hits"),
 		queued:          reg.Counter(prefix + "dispatch.queued"),
@@ -88,7 +96,9 @@ func (pl *Platform) SetObsPrefixed(reg *obs.Registry, prefix string) {
 		cordons:         reg.Counter(prefix + "health.cordons"),
 		queueWait:       reg.Histogram(prefix + "stage." + obs.StageQueueWait),
 		bootTime:        reg.Histogram(prefix + "stage." + obs.StageBoot),
+		tmplClone:       reg.Histogram(prefix + "stage." + obs.StageTemplateClone),
 		codeStage:       reg.Histogram(prefix + "stage." + obs.StageCodeStage),
+		chunkStage:      reg.Histogram(prefix + "stage." + obs.StageChunkStage),
 		whLoad:          reg.Histogram(prefix + "stage." + obs.StageWarehouseLoad),
 		runTime:         reg.Histogram(prefix + "stage." + obs.StageRun),
 	}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"rattrap/internal/host"
+	"rattrap/internal/offload"
 	"rattrap/internal/sim"
 	"rattrap/internal/unionfs"
 )
@@ -20,26 +21,61 @@ type cacheEntry struct {
 	Path string
 	CIDs map[string]bool
 	Hits int
+
+	// Hashes is the entry's chunk manifest when it arrived via a delta
+	// push; such entries own references into the shared chunk store
+	// instead of a private blob (chunked=true).
+	Hashes  []uint32
+	chunked bool
+
+	// lastBound/seq order entries for least-recently-bound eviction: the
+	// virtual time a container last loaded the code, with the insertion
+	// sequence breaking same-instant ties deterministically.
+	lastBound sim.Time
+	seq       int
+}
+
+// chunkInfo is one content-addressed block of the chunk store: its size
+// and how many cache entries reference it.
+type chunkInfo struct {
+	size host.Bytes
+	refs int
 }
 
 // Warehouse is the App Warehouse (§IV-D): the mobile code cache that
 // eliminates duplicate code transfer. Code arrives once — with an app's
 // first offloading request, "once and for all" — and later requests
-// reference it by AID instead of re-uploading.
+// reference it by AID instead of re-uploading. Chunked entries go
+// further: their blocks are content-addressed, so app families sharing
+// libraries store (and transfer) each common block exactly once across
+// AIDs.
 type Warehouse struct {
+	e       *sim.Engine
 	store   *unionfs.Mount
 	entries map[string]*cacheEntry
 	pending map[string]*sim.Signal // in-flight first pushes, by AID
+	chunks  map[uint32]*chunkInfo  // content-addressed block store
 	misses  int
+
+	// capacity bounds StoredBytes; 0 means unbounded (the pre-eviction
+	// behaviour). evictions counts entries dropped to stay under it.
+	capacity  host.Bytes
+	evictions int
+	seq       int
 }
 
 // NewWarehouse creates a warehouse staging blobs on store (the shared
-// in-memory offloading layer in Rattrap).
-func NewWarehouse(store *unionfs.Mount) *Warehouse {
+// in-memory offloading layer in Rattrap). capacity bounds the staged
+// volume (0 = unbounded); e supplies the clock that orders entries for
+// least-recently-bound eviction.
+func NewWarehouse(e *sim.Engine, store *unionfs.Mount, capacity host.Bytes) *Warehouse {
 	return &Warehouse{
-		store:   store,
-		entries: make(map[string]*cacheEntry),
-		pending: make(map[string]*sim.Signal),
+		e:        e,
+		store:    store,
+		entries:  make(map[string]*cacheEntry),
+		pending:  make(map[string]*sim.Signal),
+		chunks:   make(map[uint32]*chunkInfo),
+		capacity: capacity,
 	}
 }
 
@@ -84,7 +120,21 @@ func (w *Warehouse) Lookup(aid string) (*cacheEntry, bool) {
 	return e, ok
 }
 
-// Put stages newly received code, blocking p for the store write.
+// newEntry records a staged blob in the cache table.
+func (w *Warehouse) newEntry(aid, app string, size host.Bytes, path string, hashes []uint32, chunked bool) {
+	w.seq++
+	w.entries[aid] = &cacheEntry{
+		AID: aid, App: app, Size: size, Path: path,
+		CIDs:      make(map[string]bool),
+		Hashes:    hashes,
+		chunked:   chunked,
+		lastBound: w.e.Now(),
+		seq:       w.seq,
+	}
+}
+
+// Put stages newly received code as one plain blob, blocking p for the
+// store write.
 func (w *Warehouse) Put(p *sim.Proc, aid, app string, size host.Bytes) error {
 	if _, ok := w.entries[aid]; ok {
 		return nil // concurrent push of the same code: keep the first
@@ -93,15 +143,93 @@ func (w *Warehouse) Put(p *sim.Proc, aid, app string, size host.Bytes) error {
 	if err := w.store.Write(p, path, size, nil, 1.0); err != nil {
 		return fmt.Errorf("core: warehouse put %s: %w", aid, err)
 	}
-	w.entries[aid] = &cacheEntry{AID: aid, App: app, Size: size, Path: path, CIDs: make(map[string]bool)}
+	w.newEntry(aid, app, size, path, nil, false)
+	return nil
+}
+
+func chunkPath(h uint32) string { return fmt.Sprintf("/warehouse/chunks/%08x", h) }
+
+// MissingChunks returns, in offer order, the offered hashes the chunk
+// store does not hold yet (each reported once).
+func (w *Warehouse) MissingChunks(hashes []uint32) []uint32 {
+	var missing []uint32
+	seen := make(map[uint32]bool, len(hashes))
+	for _, h := range hashes {
+		if seen[h] {
+			continue
+		}
+		seen[h] = true
+		if _, ok := w.chunks[h]; !ok {
+			missing = append(missing, h)
+		}
+	}
+	return missing
+}
+
+// PutChunked stages a delta push: the chunks in missing are written into
+// the content-addressed store in parallel (each is an independent block;
+// staging them concurrently is what makes a wide delta land in one
+// chunk-write's time), every offered hash gains a reference, and the
+// entry is recorded as chunked. size/hashes describe the whole blob;
+// missing must be a subset of hashes (fresh hashes from MissingChunks).
+func (w *Warehouse) PutChunked(p *sim.Proc, aid, app string, size host.Bytes, hashes, missing []uint32) error {
+	if _, ok := w.entries[aid]; ok {
+		return nil // concurrent push of the same code: keep the first
+	}
+	span := make(map[uint32]host.Bytes, len(hashes))
+	for i, h := range hashes {
+		if _, ok := span[h]; !ok {
+			span[h] = offload.ChunkSpan(size, i)
+		}
+	}
+	var firstErr error
+	if len(missing) > 0 {
+		done := sim.NewSignal(p.E)
+		remaining := len(missing)
+		for _, h := range missing {
+			h := h
+			sz, ok := span[h]
+			if !ok {
+				return fmt.Errorf("core: warehouse put %s: missing chunk %08x not in offer", aid, h)
+			}
+			p.E.Spawn("chunk-stage-"+aid, func(cp *sim.Proc) {
+				if err := w.store.Write(cp, chunkPath(h), sz, nil, 1.0); err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("core: warehouse chunk %08x: %w", h, err)
+				}
+				remaining--
+				if remaining == 0 {
+					done.Fire()
+				}
+			})
+		}
+		p.Wait(done)
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	seen := make(map[uint32]bool, len(hashes))
+	for _, h := range hashes {
+		if seen[h] {
+			continue
+		}
+		seen[h] = true
+		if c, ok := w.chunks[h]; ok {
+			c.refs++
+		} else {
+			w.chunks[h] = &chunkInfo{size: span[h], refs: 1}
+		}
+	}
+	w.newEntry(aid, app, size, chunkPath(hashes[0]), hashes, true)
 	return nil
 }
 
 // BindCID records that a container loaded the code (the AID→CID mapping
-// the Dispatcher uses for affinity).
+// the Dispatcher uses for affinity) and refreshes the entry's
+// least-recently-bound stamp.
 func (w *Warehouse) BindCID(aid, cid string) {
 	if e, ok := w.entries[aid]; ok {
 		e.CIDs[cid] = true
+		e.lastBound = w.e.Now()
 	}
 }
 
@@ -126,6 +254,60 @@ func (w *Warehouse) CIDsFor(aid string) []string {
 	return out
 }
 
+// dropEntry removes an entry and releases its chunk references; blocks
+// with no remaining referents leave the store with it.
+func (w *Warehouse) dropEntry(e *cacheEntry) {
+	delete(w.entries, e.AID)
+	if !e.chunked {
+		_ = w.store.Remove(e.Path)
+		return
+	}
+	seen := make(map[uint32]bool, len(e.Hashes))
+	for _, h := range e.Hashes {
+		if seen[h] {
+			continue
+		}
+		seen[h] = true
+		c, ok := w.chunks[h]
+		if !ok {
+			continue
+		}
+		c.refs--
+		if c.refs <= 0 {
+			delete(w.chunks, h)
+			_ = w.store.Remove(chunkPath(h))
+		}
+	}
+}
+
+// EnforceCapacity evicts least-recently-bound entries until StoredBytes
+// fits the configured capacity again, returning how many entries were
+// dropped. With no capacity configured (0) it never evicts; a single
+// oversize entry is kept — the warehouse always admits the blob that was
+// just pushed.
+func (w *Warehouse) EnforceCapacity() int {
+	if w.capacity <= 0 {
+		return 0
+	}
+	dropped := 0
+	for w.StoredBytes() > w.capacity && len(w.entries) > 1 {
+		var victim *cacheEntry
+		for _, e := range w.entries {
+			if victim == nil || e.lastBound < victim.lastBound ||
+				(e.lastBound == victim.lastBound && e.seq < victim.seq) {
+				victim = e
+			}
+		}
+		w.dropEntry(victim)
+		dropped++
+	}
+	w.evictions += dropped
+	return dropped
+}
+
+// Evictions reports how many entries capacity enforcement has dropped.
+func (w *Warehouse) Evictions() int { return w.evictions }
+
 // Stats summarizes cache behaviour.
 func (w *Warehouse) Stats() (entries, hits, misses int) {
 	for _, e := range w.entries {
@@ -134,11 +316,20 @@ func (w *Warehouse) Stats() (entries, hits, misses int) {
 	return len(w.entries), hits, w.misses
 }
 
-// StoredBytes is the total staged code volume.
+// StoredBytes is the total staged code volume: plain blobs plus the
+// deduplicated chunk store — a block shared by many AIDs is counted once.
 func (w *Warehouse) StoredBytes() host.Bytes {
 	var t host.Bytes
 	for _, e := range w.entries {
-		t += e.Size
+		if !e.chunked {
+			t += e.Size
+		}
+	}
+	for _, c := range w.chunks {
+		t += c.size
 	}
 	return t
 }
+
+// ChunkCount reports how many content-addressed blocks the store holds.
+func (w *Warehouse) ChunkCount() int { return len(w.chunks) }

@@ -38,6 +38,12 @@ type Device struct {
 
 	spans    bool      // collect a per-request span on each Offload
 	lastSpan *obs.Span // span of the most recent Offload attempt
+
+	// chunked opts this device into the content-addressed delta push: code
+	// transfers open with a chunk-hash offer and move only the chunks the
+	// warehouse is missing. Off (the default), every push is a full blob
+	// and the wire exchange is byte-for-byte the historical one.
+	chunked bool
 }
 
 // New creates a device on engine e attached to the given network scenario.
@@ -76,6 +82,11 @@ func (d *Device) EnableSpans(on bool) { d.spans = on }
 // LastSpan returns the span collected by the most recent Offload attempt,
 // nil when spans are disabled or no offload has run yet.
 func (d *Device) LastSpan() *obs.Span { return d.lastSpan }
+
+// EnableChunkedPush toggles the delta code push. The device still falls
+// back to a full transfer when the cloud answers the offer with
+// Supported=false (chunking disabled, or no warehouse).
+func (d *Device) EnableChunkedPush(on bool) { d.chunked = on }
 
 // Traffic returns the device's cumulative migrated-data accounting.
 func (d *Device) Traffic() offload.Traffic { return d.traffic }
@@ -171,6 +182,61 @@ func (d *Device) Offload(p *sim.Proc, task workload.Task, codeSize host.Bytes, g
 			return fmt.Errorf("device %s: receiving NEED_CODE: %w", d.Name, err)
 		}
 		d.traffic.Down += offload.ControlBytes
+		// Delta push: offer the blob's chunk manifest and transfer only the
+		// chunks the warehouse is missing. The negotiation costs one control
+		// round trip carrying the packed hash lists; a Supported=false reply
+		// falls through to the full transfer below.
+		if d.chunked {
+			if cs, ok := sess.(offload.ChunkedSession); ok {
+				offer := offload.ChunkOffer{
+					AID: req.AID, App: task.App, Size: codeSize, Seq: task.Seq,
+					Hashes: offload.SyntheticManifest(task.App, codeSize),
+				}
+				offerBytes := host.Bytes(len(offload.PackHashes(offer.Hashes))) + offload.ControlBytes
+				dur, err = d.Link.Upload(p, offerBytes)
+				ph.DataTransfer += dur
+				sp.Add(obs.StageTransfer, dur)
+				upAir += dur
+				if err != nil {
+					return fmt.Errorf("device %s: offering chunks: %w", d.Name, err)
+				}
+				d.traffic.ControlUp += offerBytes
+				need, nerr := cs.NegotiateChunks(p, offer)
+				if nerr != nil {
+					return fmt.Errorf("device %s: negotiating chunks: %w", d.Name, nerr)
+				}
+				needBytes := host.Bytes(len(offload.PackHashes(need.Missing))) + offload.ControlBytes
+				dur, err = d.Link.Download(p, needBytes)
+				ph.DataTransfer += dur
+				sp.Add(obs.StageTransfer, dur)
+				downAir += dur
+				if err != nil {
+					return fmt.Errorf("device %s: receiving chunk needs: %w", d.Name, err)
+				}
+				d.traffic.Down += needBytes
+				if need.Supported {
+					delta := offload.DeltaBytes(offer, need.Missing)
+					if delta > 0 {
+						dur, err = d.Link.Upload(p, delta)
+						ph.DataTransfer += dur
+						sp.Add(obs.StageTransfer, dur)
+						upAir += dur
+						if err != nil {
+							return fmt.Errorf("device %s: uploading chunk delta: %w", d.Name, err)
+						}
+					}
+					d.traffic.CodeUp += delta
+					loadStart := d.E.Now()
+					if err := cs.PushChunks(p, offer, need.Missing); err != nil {
+						return fmt.Errorf("device %s: pushing chunks: %w", d.Name, err)
+					}
+					pushDur := (d.E.Now() - loadStart).Duration()
+					ph.RuntimePreparation += pushDur
+					sp.Add(obs.StagePrepare, pushDur)
+					return nil
+				}
+			}
+		}
 		dur, err = d.Link.Upload(p, codeSize)
 		ph.DataTransfer += dur
 		sp.Add(obs.StageTransfer, dur)

@@ -41,6 +41,13 @@ const (
 	// StageCodeStage is server-side staging of pushed code: the warehouse
 	// write plus the ClassLoader load (inside prepare).
 	StageCodeStage = "prepare/code_stage"
+	// StageTemplateClone is a template-clone boot on the request path: the
+	// COW fast path that replaces a cold StageBoot (inside prepare).
+	StageTemplateClone = "prepare/template_clone"
+	// StageChunkStage is content-addressed chunk staging during a delta
+	// code push: writing only the missing chunks into the warehouse's
+	// chunk store (inside prepare).
+	StageChunkStage = "prepare/chunk_stage"
 	// StageWarehouseLoad is a warehouse-sourced code load — the cache hit
 	// that replaced a device transfer (inside execute).
 	StageWarehouseLoad = "execute/warehouse_load"

@@ -17,7 +17,7 @@ import (
 //
 //	[0] magic 0xB1
 //	[1] wire version (1)
-//	[2] kind (1 hello, 2 exec, 3 needcode, 4 code, 5 result)
+//	[2] kind (1 hello, 2 exec, 3 needcode, 4 code, 5 result, 6 chunkoffer, 7 chunkneed)
 //	[3] flags (kind-specific; bit0 of a needcode frame: payload present)
 //	[4:] fields in fixed per-kind order
 //
@@ -84,29 +84,35 @@ const (
 
 // Wire discriminator bytes for frame kinds.
 const (
-	binKindHello    = 1
-	binKindExec     = 2
-	binKindNeedCode = 3
-	binKindCode     = 4
-	binKindResult   = 5
+	binKindHello      = 1
+	binKindExec       = 2
+	binKindNeedCode   = 3
+	binKindCode       = 4
+	binKindResult     = 5
+	binKindChunkOffer = 6
+	binKindChunkNeed  = 7
 )
 
 // binKinds maps Kind to its wire discriminator byte; binKindNames is the
 // inverse (the zero Kind marks an unassigned byte).
 var binKinds = map[Kind]byte{
-	KindHello:    binKindHello,
-	KindExec:     binKindExec,
-	KindNeedCode: binKindNeedCode,
-	KindCode:     binKindCode,
-	KindResult:   binKindResult,
+	KindHello:      binKindHello,
+	KindExec:       binKindExec,
+	KindNeedCode:   binKindNeedCode,
+	KindCode:       binKindCode,
+	KindResult:     binKindResult,
+	KindChunkOffer: binKindChunkOffer,
+	KindChunkNeed:  binKindChunkNeed,
 }
 
 var binKindNames = [...]Kind{
-	binKindHello:    KindHello,
-	binKindExec:     KindExec,
-	binKindNeedCode: KindNeedCode,
-	binKindCode:     KindCode,
-	binKindResult:   KindResult,
+	binKindHello:      KindHello,
+	binKindExec:       KindExec,
+	binKindNeedCode:   KindNeedCode,
+	binKindCode:       KindCode,
+	binKindResult:     KindResult,
+	binKindChunkOffer: KindChunkOffer,
+	binKindChunkNeed:  KindChunkNeed,
 }
 
 // WireVersionError reports a failed codec negotiation: the peer opened
@@ -259,6 +265,16 @@ func (c *Conn) encodeBinary(f *Frame) error {
 		c.putString(r.Code)
 		c.putZig(int64(r.RetryAfterMs))
 		c.putZig(int64(r.Seq))
+	case KindChunkOffer, KindChunkNeed:
+		// Chunk negotiation rides the Exec carrier (see chunk.go): only
+		// the carrier fields the two payloads actually use hit the wire.
+		e := f.Exec
+		c.putString(e.AID)
+		c.putString(e.App)
+		c.putZig(int64(e.ParamBytes))
+		c.putZig(int64(e.Seq))
+		c.putZig(int64(e.RoundTrips))
+		c.putBytes(e.Params)
 	}
 	return nil
 }
@@ -384,6 +400,16 @@ func (c *Conn) decodeBinary(buf []byte) (Frame, error) {
 			Seq:          int(r.zig()),
 		}
 		f.Result = &c.recvResult
+	case KindChunkOffer, KindChunkNeed:
+		c.recvExec = ExecRequest{
+			AID: c.internStr(r.bytes()),
+			App: c.internStr(r.bytes()),
+		}
+		c.recvExec.ParamBytes = host.Bytes(r.zig())
+		c.recvExec.Seq = int(r.zig())
+		c.recvExec.RoundTrips = int(r.zig())
+		c.recvExec.Params = r.bytes()
+		f.Exec = &c.recvExec
 	}
 	if r.err != nil {
 		return Frame{}, r.err

@@ -1,0 +1,278 @@
+package offload
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"rattrap/internal/host"
+	"rattrap/internal/sim"
+)
+
+// Content-addressed code chunking: the delta half of the warehouse. A code
+// blob is split into fixed-size chunks, each named by its content hash
+// (FNV-1a with a murmur fmix32 finalizer — the same hash discipline as the
+// cluster ring, which already learned that raw FNV clusters related keys).
+// A device offers the hash list of its blob; the server answers with the
+// subset its chunk store is missing; only those chunks cross the network.
+// App families sharing libraries (the same app at different code sizes)
+// therefore transfer their common prefix exactly once, ever.
+
+// ChunkSize is the fixed content-addressing granularity. 64 KiB keeps the
+// hash list small (4 bytes per 64 KiB ≈ 0.006% overhead) while still
+// splitting a multi-megabyte app into enough chunks to dedup libraries.
+const ChunkSize = 64 * host.KB
+
+// fmix32 is the murmur3 avalanche finalizer.
+func fmix32(h uint32) uint32 {
+	h ^= h >> 16
+	h *= 0x85ebca6b
+	h ^= h >> 13
+	h *= 0xc2b2ae35
+	h ^= h >> 16
+	return h
+}
+
+// ChunkHash names a chunk by its content: 32-bit FNV-1a, finalized with
+// fmix32 so related chunks (shared prefixes, counter-stamped tails) spread
+// over the full hash space.
+func ChunkHash(b []byte) uint32 {
+	h := uint32(2166136261)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return fmix32(h)
+}
+
+// SplitBlob cuts data into ChunkSize chunks; the last chunk may be short.
+// The chunks alias data (no copying). An empty blob has no chunks.
+func SplitBlob(data []byte) [][]byte {
+	if len(data) == 0 {
+		return nil
+	}
+	n := (len(data) + int(ChunkSize) - 1) / int(ChunkSize)
+	out := make([][]byte, 0, n)
+	for off := 0; off < len(data); off += int(ChunkSize) {
+		end := off + int(ChunkSize)
+		if end > len(data) {
+			end = len(data)
+		}
+		out = append(out, data[off:end:end])
+	}
+	return out
+}
+
+// ChunkBlob returns the content hashes of data's chunks, in order.
+func ChunkBlob(data []byte) []uint32 {
+	chunks := SplitBlob(data)
+	if chunks == nil {
+		return nil
+	}
+	out := make([]uint32, len(chunks))
+	for i, c := range chunks {
+		out[i] = ChunkHash(c)
+	}
+	return out
+}
+
+// ChunkCount returns how many chunks a blob of the given size splits into.
+func ChunkCount(size host.Bytes) int {
+	if size <= 0 {
+		return 0
+	}
+	return int((size + ChunkSize - 1) / ChunkSize)
+}
+
+// ChunkSpan returns the byte size of chunk i of a blob of the given total
+// size: ChunkSize for every chunk but a short last one.
+func ChunkSpan(size host.Bytes, i int) host.Bytes {
+	n := ChunkCount(size)
+	if i < 0 || i >= n {
+		return 0
+	}
+	if i == n-1 {
+		return size - host.Bytes(n-1)*ChunkSize
+	}
+	return ChunkSize
+}
+
+// SyntheticManifest derives the chunk-hash list of a modeled code blob
+// (the simulated path carries sizes, not bytes). Hashes are a pure
+// function of (app, size), so every holder of the same blob derives the
+// same manifest. The leading ~7/8 of chunks are salted only by the app
+// name and chunk index — the shared library segment that all code sizes
+// of one app family have in common — while the tail ~1/8 is additionally
+// salted by the exact size: the variant's unique code.
+func SyntheticManifest(app string, size host.Bytes) []uint32 {
+	n := ChunkCount(size)
+	if n == 0 {
+		return nil
+	}
+	uniq := (n + 7) / 8
+	shared := n - uniq
+	out := make([]uint32, n)
+	for i := range out {
+		var seed string
+		if i < shared {
+			seed = fmt.Sprintf("%s:lib:%d", app, i)
+		} else {
+			seed = fmt.Sprintf("%s:%d:uniq:%d", app, size, i)
+		}
+		out[i] = ChunkHash([]byte(seed))
+	}
+	return out
+}
+
+// PackHashes flattens a hash list to 4-byte little-endian words — the
+// payload format chunk offers and need-replies carry on the wire.
+func PackHashes(hs []uint32) []byte {
+	if len(hs) == 0 {
+		return nil
+	}
+	out := make([]byte, 4*len(hs))
+	for i, h := range hs {
+		binary.LittleEndian.PutUint32(out[4*i:], h)
+	}
+	return out
+}
+
+// UnpackHashes parses a packed hash list.
+func UnpackHashes(b []byte) ([]uint32, error) {
+	if len(b)%4 != 0 {
+		return nil, fmt.Errorf("offload: packed hash list of %d bytes is not a multiple of 4", len(b))
+	}
+	if len(b) == 0 {
+		return nil, nil
+	}
+	out := make([]uint32, len(b)/4)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(b[4*i:])
+	}
+	return out, nil
+}
+
+// DeltaBytes sums the payload bytes of the missing chunks of an offer —
+// what a delta push actually moves over the network.
+func DeltaBytes(offer ChunkOffer, missing []uint32) host.Bytes {
+	if len(missing) == 0 {
+		return 0
+	}
+	idx := make(map[uint32]host.Bytes, len(offer.Hashes))
+	for i, h := range offer.Hashes {
+		if _, ok := idx[h]; !ok {
+			idx[h] = ChunkSpan(offer.Size, i)
+		}
+	}
+	var total host.Bytes
+	for _, h := range missing {
+		total += idx[h]
+	}
+	return total
+}
+
+// ChunkOffer is a device's delta-push opening: the identity of the blob it
+// wants to push and the content hashes of its chunks.
+type ChunkOffer struct {
+	AID    string
+	App    string
+	Size   host.Bytes
+	Seq    int
+	Hashes []uint32
+}
+
+// ChunkNeed is the server's answer: the subset of offered chunks its
+// store is missing. Supported=false means the server does not speak delta
+// push (chunking disabled, or no warehouse) and the device must fall back
+// to a full push.
+type ChunkNeed struct {
+	Seq       int
+	AID       string
+	Missing   []uint32
+	Supported bool
+}
+
+// ChunkedSession is a Session that can negotiate a content-addressed delta
+// push instead of a full code transfer.
+type ChunkedSession interface {
+	Session
+	// NegotiateChunks answers an offer with the chunks the server is
+	// missing. A Supported=false reply tells the device to fall back to
+	// PushCode.
+	NegotiateChunks(p *sim.Proc, offer ChunkOffer) (ChunkNeed, error)
+	// PushChunks completes a negotiated delta push: only the missing
+	// chunks were transferred; the warehouse stages them and binds the
+	// reassembled blob under the offer's AID.
+	PushChunks(p *sim.Proc, offer ChunkOffer, missing []uint32) error
+}
+
+// Wire carriers: chunk frames ride the existing exported Frame shape (an
+// ExecRequest payload) so the legacy gob stream's type descriptors — and
+// therefore its golden bytes — are untouched; the binary codec gives the
+// same carriers first-class discriminators. Field mapping:
+//
+//	Exec.AID        = offer/need AID
+//	Exec.App        = offer App (offers only)
+//	Exec.ParamBytes = offer Size (offers only)
+//	Exec.Seq        = Seq
+//	Exec.RoundTrips = need Supported (1/0; need replies only)
+//	Exec.Params     = packed hash list (offered / missing)
+
+// ChunkOfferFrame packs an offer into its wire frame.
+func ChunkOfferFrame(o *ChunkOffer) Frame {
+	return Frame{Kind: KindChunkOffer, Exec: &ExecRequest{
+		AID:        o.AID,
+		App:        o.App,
+		ParamBytes: o.Size,
+		Seq:        o.Seq,
+		Params:     PackHashes(o.Hashes),
+	}}
+}
+
+// DecodeChunkOffer unpacks a KindChunkOffer frame.
+func DecodeChunkOffer(f Frame) (ChunkOffer, error) {
+	if f.Kind != KindChunkOffer || f.Exec == nil {
+		return ChunkOffer{}, fmt.Errorf("offload: not a chunk offer frame (kind %q)", f.Kind)
+	}
+	hs, err := UnpackHashes(f.Exec.Params)
+	if err != nil {
+		return ChunkOffer{}, err
+	}
+	return ChunkOffer{
+		AID:    f.Exec.AID,
+		App:    f.Exec.App,
+		Size:   f.Exec.ParamBytes,
+		Seq:    f.Exec.Seq,
+		Hashes: hs,
+	}, nil
+}
+
+// ChunkNeedFrame packs a need-reply into its wire frame.
+func ChunkNeedFrame(n *ChunkNeed) Frame {
+	sup := 0
+	if n.Supported {
+		sup = 1
+	}
+	return Frame{Kind: KindChunkNeed, Exec: &ExecRequest{
+		AID:        n.AID,
+		Seq:        n.Seq,
+		RoundTrips: sup,
+		Params:     PackHashes(n.Missing),
+	}}
+}
+
+// DecodeChunkNeed unpacks a KindChunkNeed frame.
+func DecodeChunkNeed(f Frame) (ChunkNeed, error) {
+	if f.Kind != KindChunkNeed || f.Exec == nil {
+		return ChunkNeed{}, fmt.Errorf("offload: not a chunk need frame (kind %q)", f.Kind)
+	}
+	hs, err := UnpackHashes(f.Exec.Params)
+	if err != nil {
+		return ChunkNeed{}, err
+	}
+	return ChunkNeed{
+		AID:       f.Exec.AID,
+		Seq:       f.Exec.Seq,
+		Supported: f.Exec.RoundTrips != 0,
+		Missing:   hs,
+	}, nil
+}

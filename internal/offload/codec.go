@@ -65,6 +65,12 @@ const (
 	KindNeedCode Kind = "needcode"
 	KindCode     Kind = "code"
 	KindResult   Kind = "result"
+
+	// Chunked delta-push negotiation (PushCode's content-addressed fast
+	// path). Both ride the Exec carrier — see the wire-carrier notes in
+	// chunk.go — so the gob stream's type descriptors stay frozen.
+	KindChunkOffer Kind = "chunkoffer"
+	KindChunkNeed  Kind = "chunkneed"
 )
 
 // Hello opens a device connection.
@@ -119,6 +125,10 @@ func (f *Frame) Validate() error {
 	case KindExec:
 		if f.Exec == nil {
 			return fmt.Errorf("offload: exec frame without payload")
+		}
+	case KindChunkOffer, KindChunkNeed:
+		if f.Exec == nil {
+			return fmt.Errorf("offload: %s frame without payload", f.Kind)
 		}
 	case KindCode:
 		if f.Code == nil {

@@ -417,7 +417,7 @@ func (s *Server) handle(conn net.Conn) error {
 		out:        make(chan outMsg, s.opts.PipelineDepth+2),
 		connDone:   make(chan struct{}),
 		writerDone: make(chan struct{}),
-		codeWait:   make(map[int]chan offload.CodePush),
+		codeWait:   make(map[int]chan codeMsg),
 	}
 	return h.run()
 }
@@ -462,8 +462,8 @@ type connHandler struct {
 
 	mu       sync.Mutex
 	inflight int
-	codeWait map[int]chan offload.CodePush // seq -> worker awaiting a push
-	codeFIFO []int                         // arrival order, for pushes without a Seq
+	codeWait map[int]chan codeMsg // seq -> worker awaiting a push or chunk offer
+	codeFIFO []int                // arrival order, for pushes without a Seq
 
 	errOnce sync.Once
 	err     error
@@ -546,8 +546,23 @@ func (h *connHandler) decodeLoop() error {
 				h.serveRequest(req, start)
 			}()
 		case offload.KindCode:
-			if !h.routeCode(*f.Code) {
+			if !h.routeCodeMsg(f.Code.Seq, codeMsg{push: *f.Code}) {
 				msg := "realtime: code frame with no code transfer pending"
+				h.enqueueProtocolError(msg)
+				return errors.New(msg)
+			}
+		case offload.KindChunkOffer:
+			// A device opening a delta push instead of sending the full
+			// blob. Routed to the worker awaiting this seq's code; it
+			// negotiates against the warehouse and answers KindChunkNeed.
+			offer, derr := offload.DecodeChunkOffer(f)
+			if derr != nil {
+				msg := "realtime: " + derr.Error()
+				h.enqueueProtocolError(msg)
+				return errors.New(msg)
+			}
+			if !h.routeCodeMsg(offer.Seq, codeMsg{offer: &offer}) {
+				msg := "realtime: chunk offer with no code transfer pending"
 				h.enqueueProtocolError(msg)
 				return errors.New(msg)
 			}
@@ -666,13 +681,19 @@ func (h *connHandler) enqueueProtocolError(msg string) {
 	}
 }
 
-// routeCode hands a code push to the worker waiting for it: by Seq when
-// the push carries one that matches a waiter, else to the oldest waiter
-// (serial clients predate CodePush.Seq and leave it zero). Returns false
-// when no worker is waiting for code at all.
-func (h *connHandler) routeCode(push offload.CodePush) bool {
+// codeMsg is one frame routed to a worker mid-code-exchange: either the
+// code push itself or a chunk offer opening a delta push.
+type codeMsg struct {
+	push  offload.CodePush
+	offer *offload.ChunkOffer
+}
+
+// routeCodeMsg hands a code-exchange frame to the worker waiting for it:
+// by Seq when the frame carries one that matches a waiter, else to the
+// oldest waiter (serial clients predate CodePush.Seq and leave it zero).
+// Returns false when no worker is waiting for code at all.
+func (h *connHandler) routeCodeMsg(seq int, msg codeMsg) bool {
 	h.mu.Lock()
-	seq := push.Seq
 	ch, ok := h.codeWait[seq]
 	if !ok {
 		if len(h.codeFIFO) == 0 {
@@ -685,7 +706,7 @@ func (h *connHandler) routeCode(push offload.CodePush) bool {
 	delete(h.codeWait, seq)
 	h.dropCodeFIFO(seq)
 	h.mu.Unlock()
-	ch <- push // buffered; never blocks
+	ch <- msg // buffered; never blocks
 	return true
 }
 
@@ -698,25 +719,30 @@ func (h *connHandler) dropCodeFIFO(seq int) {
 	}
 }
 
-// awaitCode asks the device for the mobile code and waits for the push,
-// bounded by the per-read timeout, the request's remaining wall budget,
-// and the connection's life. The waiter is registered before NEED_CODE is
-// queued so the reply can never race past it.
-func (h *connHandler) awaitCode(seq int, aid string, start time.Time) (offload.CodePush, error) {
-	ch := make(chan offload.CodePush, 1)
+// registerCodeWait installs this worker as the receiver of the next
+// code-exchange frame for seq. The waiter is registered before whatever
+// frame prompts the device (NEED_CODE, or a chunk-need reply) is queued,
+// so the device's answer can never race past it.
+func (h *connHandler) registerCodeWait(seq int) (chan codeMsg, error) {
+	ch := make(chan codeMsg, 1)
 	h.mu.Lock()
 	if _, dup := h.codeWait[seq]; dup {
 		h.mu.Unlock()
-		return offload.CodePush{}, fmt.Errorf("realtime: duplicate in-flight seq %d awaiting code", seq)
+		return nil, fmt.Errorf("realtime: duplicate in-flight seq %d awaiting code", seq)
 	}
 	h.codeWait[seq] = ch
 	h.codeFIFO = append(h.codeFIFO, seq)
 	h.mu.Unlock()
-	h.out <- outMsg{frame: offload.Frame{Kind: offload.KindNeedCode, NeedCode: &offload.NeedCode{Seq: seq, AID: aid}}}
+	return ch, nil
+}
+
+// waitCodeMsg blocks for the routed frame, bounded by the per-read
+// timeout, the request's remaining wall budget, and the connection's life.
+func (h *connHandler) waitCodeMsg(seq int, ch chan codeMsg, start time.Time) (codeMsg, error) {
 	timeout, err := h.s.requestRead(start)
 	if err != nil {
 		h.cancelCodeWait(seq)
-		return offload.CodePush{}, err
+		return codeMsg{}, err
 	}
 	var timerC <-chan time.Time
 	if timeout > 0 {
@@ -725,15 +751,26 @@ func (h *connHandler) awaitCode(seq int, aid string, start time.Time) (offload.C
 		timerC = timer.C
 	}
 	select {
-	case push := <-ch:
-		return push, nil
+	case msg := <-ch:
+		return msg, nil
 	case <-timerC:
 		h.cancelCodeWait(seq)
-		return offload.CodePush{}, fmt.Errorf("realtime: timed out waiting for code push (seq %d)", seq)
+		return codeMsg{}, fmt.Errorf("realtime: timed out waiting for code push (seq %d)", seq)
 	case <-h.connDone:
 		h.cancelCodeWait(seq)
-		return offload.CodePush{}, errors.New("realtime: connection closed during code transfer")
+		return codeMsg{}, errors.New("realtime: connection closed during code transfer")
 	}
+}
+
+// awaitCode asks the device for the mobile code and waits for its answer:
+// the code push itself, or a chunk offer opening a delta push.
+func (h *connHandler) awaitCode(seq int, aid string, start time.Time) (codeMsg, error) {
+	ch, err := h.registerCodeWait(seq)
+	if err != nil {
+		return codeMsg{}, err
+	}
+	h.out <- outMsg{frame: offload.Frame{Kind: offload.KindNeedCode, NeedCode: &offload.NeedCode{Seq: seq, AID: aid}}}
+	return h.waitCodeMsg(seq, ch, start)
 }
 
 func (h *connHandler) cancelCodeWait(seq int) {
@@ -852,14 +889,60 @@ func (h *connHandler) serveRequest(req offload.ExecRequest, start time.Time) {
 	}()
 
 	for {
-		push, err := h.awaitCode(req.Seq, req.AID, start)
+		msg, err := h.awaitCode(req.Seq, req.AID, start)
 		if err != nil {
 			h.fail(err)
 			return
 		}
+		// Delta-push negotiation: answer chunk offers with the warehouse's
+		// missing set until the device sends the (delta or full) code frame.
+		// The negotiated offer is remembered so the code frame that follows
+		// stages chunks instead of a full blob.
+		var negotiated *offload.ChunkOffer
+		var negotiatedMissing []uint32
+		for msg.offer != nil {
+			var need offload.ChunkNeed
+			var negErr error
+			cs, chunked := sess.(offload.ChunkedSession)
+			if chunked {
+				shard.drv.Do("chunks:"+h.dev, func(p *sim.Proc) {
+					need, negErr = cs.NegotiateChunks(p, *msg.offer)
+				})
+			} else {
+				need = offload.ChunkNeed{Seq: msg.offer.Seq, AID: msg.offer.AID}
+			}
+			if negErr != nil {
+				r := errorResult(s.shardErr(shardID, negErr))
+				r.Seq = req.Seq
+				h.out <- outMsg{res: r, isResult: true, start: start, span: sp}
+				return
+			}
+			if need.Supported {
+				negotiated = msg.offer
+				negotiatedMissing = need.Missing
+			}
+			// Re-register before the need reply leaves: the device answers
+			// it with the code frame, which must find a waiter.
+			ch, rerr := h.registerCodeWait(req.Seq)
+			if rerr != nil {
+				h.fail(rerr)
+				return
+			}
+			h.out <- outMsg{frame: offload.ChunkNeedFrame(&need)}
+			msg, err = h.waitCodeMsg(req.Seq, ch, start)
+			if err != nil {
+				h.fail(err)
+				return
+			}
+		}
+		push := msg.push
 		var pushErr error
 		shard.drv.Do("push:"+h.dev, func(p *sim.Proc) {
-			pushErr = sess.PushCode(p, push)
+			if negotiated != nil {
+				pushErr = sess.(offload.ChunkedSession).PushChunks(p, *negotiated, negotiatedMissing)
+			} else {
+				pushErr = sess.PushCode(p, push)
+			}
 		})
 		if pushErr != nil {
 			r := errorResult(s.shardErr(shardID, pushErr))

@@ -264,6 +264,27 @@ func (r *runner) evaluate(a AssertionSpec, rep *Report) AssertionReport {
 		ar.Want = rangeWant(a)
 		ar.Got = fmt.Sprintf("%d", rep.Totals.Overloads)
 		ar.Pass = inRange(float64(rep.Totals.Overloads), a)
+	case AssertBootP50, AssertBootP99:
+		var boots []float64
+		for i := 0; i < r.cl.Shards(); i++ {
+			for _, d := range r.cl.Shard(i).BootDurations() {
+				boots = append(boots, d.Seconds())
+			}
+		}
+		pct := 50.0
+		if a.Kind == AssertBootP99 {
+			pct = 99
+		}
+		ar.Want = fmt.Sprintf("<= %.1fms", durMs(a.MaxDur))
+		if len(boots) == 0 {
+			ar.Got = "no boots"
+			ar.Pass = false
+			break
+		}
+		sort.Float64s(boots)
+		got := metrics.Percentile(boots, pct) * 1000
+		ar.Got = fmt.Sprintf("%.1fms over %d boots", got, len(boots))
+		ar.Pass = got <= durMs(a.MaxDur)
 	}
 	return ar
 }

@@ -66,6 +66,7 @@ func Run(scn *Scenario) (*Report, error) {
 	cfg.MaxRuntimes = scn.Platform.MaxRuntimes
 	cfg.MaxQueueDepth = scn.Platform.MaxQueueDepth
 	cfg.IdleTimeout = scn.Platform.IdleTimeout
+	cfg.TemplateBoot = scn.Platform.TemplateBoot
 	if scn.Platform.Autoscale {
 		cfg.MinRuntimes = scn.Platform.MinRuntimes
 		cfg.Autoscale = core.AutoscaleConfig{Enabled: true, Interval: scn.Platform.Interval}

@@ -76,6 +76,7 @@ type PlatformSpec struct {
 	IdleTimeout   time.Duration
 	Autoscale     bool
 	Interval      time.Duration // autoscale control interval
+	TemplateBoot  bool          // clone runtimes from the captured template
 }
 
 // ClientSpec is the per-request retry policy (mirrors device.RetryPolicy:
@@ -215,6 +216,11 @@ const (
 	AssertWarehouseHitRate
 	// AssertOverloads: overload rejections observed are within [Min, Max].
 	AssertOverloads
+	// AssertBootP50 / AssertBootP99: runtime boot duration percentile
+	// across every shard ≤ MaxDur. With template_boot on, this is the
+	// gate that the pool really is cloning rather than cold-booting.
+	AssertBootP50
+	AssertBootP99
 )
 
 func (k AssertionKind) String() string {
@@ -239,6 +245,10 @@ func (k AssertionKind) String() string {
 		return "warehouse-hit-rate"
 	case AssertOverloads:
 		return "overloads"
+	case AssertBootP50:
+		return "boot-p50"
+	case AssertBootP99:
+		return "boot-p99"
 	}
 	return fmt.Sprintf("AssertionKind(%d)", int(k))
 }
@@ -526,6 +536,7 @@ func (d *decoder) platform(root *yamlNode, path string, ru used) PlatformSpec {
 	spec.MaxQueueDepth = d.intVal(n, p, u, "max_queue_depth", 0, 0, 1<<20)
 	spec.IdleTimeout = d.durVal(n, p, u, "idle_timeout", 0, 0, MaxVirtual)
 	spec.Autoscale = d.boolVal(n, p, u, "autoscale", false)
+	spec.TemplateBoot = d.boolVal(n, p, u, "template_boot", false)
 	spec.Interval = d.durVal(n, p, u, "autoscale_interval", 200*time.Millisecond, time.Millisecond, time.Minute)
 	if d.err == nil && spec.MinRuntimes > spec.MaxRuntimes {
 		d.fail(n, p, fmt.Sprintf("min_runtimes %d exceeds max_runtimes %d", spec.MinRuntimes, spec.MaxRuntimes))
@@ -830,6 +841,17 @@ func (d *decoder) assertions(root *yamlNode, path string, ru used, scn *Scenario
 			a.HasMin = true
 			if d.err == nil && item.get("min") == nil {
 				d.fail(item, p+".min", "required")
+			}
+		case "boot-p50", "boot-p99":
+			if typ == "boot-p50" {
+				a.Kind = AssertBootP50
+			} else {
+				a.Kind = AssertBootP99
+			}
+			a.MaxDur = d.durVal(item, p, u, "max", 0, time.Microsecond, MaxVirtual)
+			a.HasMax = true
+			if d.err == nil && item.get("max") == nil {
+				d.fail(item, p+".max", "required")
 			}
 		case "warehouse-hit-rate":
 			a.Kind = AssertWarehouseHitRate

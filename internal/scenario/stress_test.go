@@ -48,6 +48,30 @@ func TestStressChaosMix(t *testing.T) {
 	}
 }
 
+// TestStressChaosMixTemplateBoot reruns the chaos-mix stress with
+// template cloning forced on: the same spike, shard kill, fault plan,
+// network flip, and floor raise must leave a clean census when every
+// boot after the capture is a COW clone.
+func TestStressChaosMixTemplateBoot(t *testing.T) {
+	scn, err := Load(filepath.Join("..", "..", "scenarios", "chaos-mix.yaml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scn.Platform.TemplateBoot = true
+	rep, err := Run(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Errorf("chaos-mix assertions failed with template boot: %+v", rep.Assertions)
+	}
+	for _, sh := range rep.Pool.Shards {
+		if !sh.CensusOK {
+			t.Errorf("shard %d census mismatch after chaos with template boot: %+v", sh.Shard, sh)
+		}
+	}
+}
+
 // TestStressConcurrentRuns drives several full scenario runs on separate
 // engines at once. Each run must stay deterministic and isolated: no
 // shared mutable state may leak between concurrently running simulations.

@@ -144,6 +144,30 @@ func (l *Layer) Paths() []string {
 	return out
 }
 
+// Snapshot returns a frozen read-only copy of the layer under a new name:
+// the node table and whiteout set are copied (so later writes to l never
+// show through the snapshot and reads through the snapshot never mark l's
+// nodes accessed), while file content slices are shared — a snapshot costs
+// metadata, not data. This is the capture half of template-clone boot: the
+// upper layer of a fully booted container is snapshotted once and then
+// spliced beneath every clone's fresh upper as an extra lower layer.
+func (l *Layer) Snapshot(name string) *Layer {
+	s := &Layer{
+		name:     name,
+		readOnly: true,
+		inMemory: l.inMemory,
+		files:    make(map[string]*node, len(l.files)),
+		wh:       make(map[string]bool, len(l.wh)),
+	}
+	for p, n := range l.files {
+		s.files[p] = &node{size: n.size, data: n.data, accessed: n.accessed, lastAccess: n.lastAccess}
+	}
+	for p := range l.wh {
+		s.wh[p] = true
+	}
+	return s
+}
+
 // WarmCacheOn marks every file of the layer resident in h's page cache
 // without simulated reads. Rattrap warms the Shared Resource Layer when the
 // platform starts, so every container boot after the first reads /system at
@@ -189,6 +213,26 @@ func NewMount(h *host.Host, name string, upper *Layer, lowers ...*Layer) (*Mount
 	}
 	layers := append([]*Layer{upper}, lowers...)
 	return &Mount{h: h, name: name, layers: layers}, nil
+}
+
+// CloneFrom assembles a COW clone of this mount: a fresh writable upper
+// over tmpl (a Snapshot of this mount's upper at capture time) followed by
+// this mount's existing lower stack. Clones share every byte below their
+// upper — the template and the shared lowers are charged once host-wide —
+// and writes land only in the clone's own upper. Whiteouts frozen into
+// tmpl keep hiding lower-layer files for the clone, exactly as they did
+// for the source mount at capture time.
+func (m *Mount) CloneFrom(name string, upper, tmpl *Layer) (*Mount, error) {
+	if tmpl == nil {
+		return nil, fmt.Errorf("unionfs: clone %q: nil template layer", name)
+	}
+	lowers := append([]*Layer{tmpl}, m.layers[1:]...)
+	nm, err := NewMount(m.h, name, upper, lowers...)
+	if err != nil {
+		return nil, err
+	}
+	nm.directIO = m.directIO
+	return nm, nil
 }
 
 // Name returns the mount identifier.
