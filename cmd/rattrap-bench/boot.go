@@ -225,7 +225,7 @@ func deltaCellRun(seed int64) (*deltaCell, error) {
 
 	base := offload.SyntheticManifest(app.Name(), deltaFamilyBase)
 	variant := offload.SyntheticManifest(app.Name(), deltaFamilyVariant)
-	have := make(map[uint32]bool, len(base))
+	have := make(map[uint64]bool, len(base))
 	for _, h := range base {
 		have[h] = true
 	}

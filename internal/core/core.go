@@ -169,9 +169,13 @@ type Platform struct {
 	tmplSrc   *container.Container
 	tmpl      *android.Template
 
-	// bootSamples records every completed boot's duration in boot order;
-	// scenario boot-latency assertions aggregate it across shards.
+	// bootSamples records completed boot durations in boot order, bounded
+	// to the most recent maxBootSamples so platforms that churn runtimes
+	// for days don't accumulate memory; scenario boot-latency assertions
+	// aggregate it across shards. bootNext is the ring's overwrite cursor
+	// once the window is full.
 	bootSamples []time.Duration
+	bootNext    int
 
 	// Dispatcher state (see dispatch.go): the pool in boot order, a CID
 	// index, the slot-selection policy, and the FIFO wait queue.
@@ -486,7 +490,12 @@ func (pl *Platform) bootSlot(p *sim.Proc) (*slot, error) {
 	sl.info.Processes = len(sl.rt.Processes())
 	sl.info.LastUsed = pl.E.Now()
 	pl.db.Transition(sl.id, LifecycleActive) // reserved for the caller
-	pl.bootSamples = append(pl.bootSamples, sl.info.BootTime)
+	if len(pl.bootSamples) < maxBootSamples {
+		pl.bootSamples = append(pl.bootSamples, sl.info.BootTime)
+	} else {
+		pl.bootSamples[pl.bootNext] = sl.info.BootTime
+		pl.bootNext = (pl.bootNext + 1) % maxBootSamples
+	}
 	if pl.om != nil {
 		pl.om.boots.Inc()
 		pl.om.bootTime.Observe(sl.info.BootTime)
@@ -499,12 +508,18 @@ func (pl *Platform) bootSlot(p *sim.Proc) (*slot, error) {
 	return sl, nil
 }
 
-// BootDurations returns a copy of every completed boot's duration, in
-// boot order. Scenario boot-latency assertions aggregate these across
-// cluster shards.
+// maxBootSamples bounds the boot-duration window BootDurations reports:
+// enough for any bench cell or scenario assertion, small enough that a
+// platform churning runtimes for days holds steady memory.
+const maxBootSamples = 4096
+
+// BootDurations returns a copy of the most recent completed boot
+// durations (up to maxBootSamples), in boot order. Scenario boot-latency
+// assertions aggregate these across cluster shards.
 func (pl *Platform) BootDurations() []time.Duration {
-	out := make([]time.Duration, len(pl.bootSamples))
-	copy(out, pl.bootSamples)
+	out := make([]time.Duration, 0, len(pl.bootSamples))
+	out = append(out, pl.bootSamples[pl.bootNext:]...)
+	out = append(out, pl.bootSamples[:pl.bootNext]...)
 	return out
 }
 
@@ -685,6 +700,14 @@ func (s *session) NegotiateChunks(p *sim.Proc, offer offload.ChunkOffer) (offloa
 	if !s.pl.cfg.ChunkedPush || s.pl.warehouse == nil {
 		return need, nil
 	}
+	// A degenerate or malformed offer (zero-size blob, empty or truncated
+	// hash list — the wire codec accepts an empty Params) never enters the
+	// delta path: answering Supported=false sends the device down the full
+	// PushCode fallback instead of letting a crafted frame reach the
+	// warehouse's chunk staging.
+	if offer.Size <= 0 || len(offer.Hashes) != offload.ChunkCount(offer.Size) {
+		return need, nil
+	}
 	need.Supported = true
 	need.Missing = s.pl.warehouse.MissingChunks(offer.Hashes)
 	return need, nil
@@ -694,7 +717,7 @@ func (s *session) NegotiateChunks(p *sim.Proc, offer offload.ChunkOffer) (offloa
 // crossed the network; the warehouse stages them (in parallel) into the
 // content-addressed store, and the runtime loads the reassembled blob
 // from the warehouse.
-func (s *session) PushChunks(p *sim.Proc, offer offload.ChunkOffer, missing []uint32) error {
+func (s *session) PushChunks(p *sim.Proc, offer offload.ChunkOffer, missing []uint64) error {
 	if offer.AID != s.req.AID {
 		return fmt.Errorf("core: chunk push AID %s does not match request %s", offer.AID, s.req.AID)
 	}

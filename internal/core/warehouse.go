@@ -25,7 +25,7 @@ type cacheEntry struct {
 	// Hashes is the entry's chunk manifest when it arrived via a delta
 	// push; such entries own references into the shared chunk store
 	// instead of a private blob (chunked=true).
-	Hashes  []uint32
+	Hashes  []uint64
 	chunked bool
 
 	// lastBound/seq order entries for least-recently-bound eviction: the
@@ -54,7 +54,7 @@ type Warehouse struct {
 	store   *unionfs.Mount
 	entries map[string]*cacheEntry
 	pending map[string]*sim.Signal // in-flight first pushes, by AID
-	chunks  map[uint32]*chunkInfo  // content-addressed block store
+	chunks  map[uint64]*chunkInfo  // content-addressed block store
 	misses  int
 
 	// capacity bounds StoredBytes; 0 means unbounded (the pre-eviction
@@ -74,7 +74,7 @@ func NewWarehouse(e *sim.Engine, store *unionfs.Mount, capacity host.Bytes) *War
 		store:    store,
 		entries:  make(map[string]*cacheEntry),
 		pending:  make(map[string]*sim.Signal),
-		chunks:   make(map[uint32]*chunkInfo),
+		chunks:   make(map[uint64]*chunkInfo),
 		capacity: capacity,
 	}
 }
@@ -121,7 +121,7 @@ func (w *Warehouse) Lookup(aid string) (*cacheEntry, bool) {
 }
 
 // newEntry records a staged blob in the cache table.
-func (w *Warehouse) newEntry(aid, app string, size host.Bytes, path string, hashes []uint32, chunked bool) {
+func (w *Warehouse) newEntry(aid, app string, size host.Bytes, path string, hashes []uint64, chunked bool) {
 	w.seq++
 	w.entries[aid] = &cacheEntry{
 		AID: aid, App: app, Size: size, Path: path,
@@ -147,13 +147,13 @@ func (w *Warehouse) Put(p *sim.Proc, aid, app string, size host.Bytes) error {
 	return nil
 }
 
-func chunkPath(h uint32) string { return fmt.Sprintf("/warehouse/chunks/%08x", h) }
+func chunkPath(h uint64) string { return fmt.Sprintf("/warehouse/chunks/%016x", h) }
 
 // MissingChunks returns, in offer order, the offered hashes the chunk
 // store does not hold yet (each reported once).
-func (w *Warehouse) MissingChunks(hashes []uint32) []uint32 {
-	var missing []uint32
-	seen := make(map[uint32]bool, len(hashes))
+func (w *Warehouse) MissingChunks(hashes []uint64) []uint64 {
+	var missing []uint64
+	seen := make(map[uint64]bool, len(hashes))
 	for _, h := range hashes {
 		if seen[h] {
 			continue
@@ -172,14 +172,37 @@ func (w *Warehouse) MissingChunks(hashes []uint32) []uint32 {
 // chunk-write's time), every offered hash gains a reference, and the
 // entry is recorded as chunked. size/hashes describe the whole blob;
 // missing must be a subset of hashes (fresh hashes from MissingChunks).
-func (w *Warehouse) PutChunked(p *sim.Proc, aid, app string, size host.Bytes, hashes, missing []uint32) error {
+// The whole offer is validated before anything is staged, so a rejected
+// push leaves no orphaned blocks in the store.
+func (w *Warehouse) PutChunked(p *sim.Proc, aid, app string, size host.Bytes, hashes, missing []uint64) error {
 	if _, ok := w.entries[aid]; ok {
 		return nil // concurrent push of the same code: keep the first
 	}
-	span := make(map[uint32]host.Bytes, len(hashes))
+	if len(hashes) == 0 || len(hashes) != offload.ChunkCount(size) {
+		return fmt.Errorf("core: warehouse put %s: manifest of %d chunks does not describe a %d-byte blob",
+			aid, len(hashes), size)
+	}
+	span := make(map[uint64]host.Bytes, len(hashes))
 	for i, h := range hashes {
+		sz := offload.ChunkSpan(size, i)
+		if prev, ok := span[h]; ok {
+			// A hash repeated within the manifest must always name the
+			// same-size block; disagreement means a hash collision.
+			if prev != sz {
+				return fmt.Errorf("core: warehouse put %s: chunk %016x spans both %d and %d bytes (hash collision)",
+					aid, h, prev, sz)
+			}
+			continue
+		}
+		if c, ok := w.chunks[h]; ok && c.size != sz {
+			return fmt.Errorf("core: warehouse put %s: chunk %016x is %d bytes but store holds %d (hash collision)",
+				aid, h, sz, c.size)
+		}
+		span[h] = sz
+	}
+	for _, h := range missing {
 		if _, ok := span[h]; !ok {
-			span[h] = offload.ChunkSpan(size, i)
+			return fmt.Errorf("core: warehouse put %s: missing chunk %016x not in offer", aid, h)
 		}
 	}
 	var firstErr error
@@ -188,13 +211,10 @@ func (w *Warehouse) PutChunked(p *sim.Proc, aid, app string, size host.Bytes, ha
 		remaining := len(missing)
 		for _, h := range missing {
 			h := h
-			sz, ok := span[h]
-			if !ok {
-				return fmt.Errorf("core: warehouse put %s: missing chunk %08x not in offer", aid, h)
-			}
+			sz := span[h]
 			p.E.Spawn("chunk-stage-"+aid, func(cp *sim.Proc) {
 				if err := w.store.Write(cp, chunkPath(h), sz, nil, 1.0); err != nil && firstErr == nil {
-					firstErr = fmt.Errorf("core: warehouse chunk %08x: %w", h, err)
+					firstErr = fmt.Errorf("core: warehouse chunk %016x: %w", h, err)
 				}
 				remaining--
 				if remaining == 0 {
@@ -207,7 +227,7 @@ func (w *Warehouse) PutChunked(p *sim.Proc, aid, app string, size host.Bytes, ha
 	if firstErr != nil {
 		return firstErr
 	}
-	seen := make(map[uint32]bool, len(hashes))
+	seen := make(map[uint64]bool, len(hashes))
 	for _, h := range hashes {
 		if seen[h] {
 			continue
@@ -262,7 +282,7 @@ func (w *Warehouse) dropEntry(e *cacheEntry) {
 		_ = w.store.Remove(e.Path)
 		return
 	}
-	seen := make(map[uint32]bool, len(e.Hashes))
+	seen := make(map[uint64]bool, len(e.Hashes))
 	for _, h := range e.Hashes {
 		if seen[h] {
 			continue

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"rattrap/internal/host"
+	"rattrap/internal/offload"
+	"rattrap/internal/sim"
+	"rattrap/internal/unionfs"
+)
+
+func newTestWarehouse(t *testing.T, e *sim.Engine, capacity host.Bytes) *Warehouse {
+	t.Helper()
+	h := host.New(e, host.CloudServer())
+	m, err := unionfs.NewMount(h, "wh-test", unionfs.NewTmpfs("wh-io"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewWarehouse(e, m, capacity)
+}
+
+// PutChunked must reject degenerate offers up front — an empty manifest
+// used to panic on hashes[0], and a missing hash outside the offer used
+// to abort mid-staging, leaking refcount-less blocks into the store.
+// Every rejection must leave the store untouched.
+func TestPutChunkedRejectsDegenerateOffers(t *testing.T) {
+	e := sim.NewEngine(1)
+	w := newTestWarehouse(t, e, 0)
+	e.Spawn("test", func(p *sim.Proc) {
+		if err := w.PutChunked(p, "aid-empty", "App", 0, nil, nil); err == nil {
+			t.Error("empty manifest accepted")
+		}
+		size := 3 * offload.ChunkSize
+		hashes := offload.SyntheticManifest("App", size)
+		if err := w.PutChunked(p, "aid-short", "App", size, hashes[:1], nil); err == nil {
+			t.Error("truncated manifest accepted")
+		}
+		if err := w.PutChunked(p, "aid-alien", "App", size, hashes, []uint64{0xabad1dea}); err == nil {
+			t.Error("missing hash outside the offer accepted")
+		}
+		if n := w.ChunkCount(); n != 0 {
+			t.Errorf("rejected pushes staged %d chunks", n)
+		}
+		if b := w.StoredBytes(); b != 0 {
+			t.Errorf("rejected pushes stored %d bytes", b)
+		}
+		for _, aid := range []string{"aid-empty", "aid-short", "aid-alien"} {
+			if _, ok := w.Lookup(aid); ok {
+				t.Errorf("rejected push created entry %s", aid)
+			}
+		}
+	})
+	e.Run()
+}
+
+// A hash already in the store naming a block of a different size is a
+// collision: re-referencing it would silently alias two distinct chunks,
+// so PutChunked must refuse before mutating anything.
+func TestPutChunkedDetectsSizeCollisions(t *testing.T) {
+	e := sim.NewEngine(2)
+	w := newTestWarehouse(t, e, 0)
+	e.Spawn("test", func(p *sim.Proc) {
+		size1 := 2*offload.ChunkSize + 17 // short final chunk
+		hashes := offload.SyntheticManifest("App", size1)
+		if err := w.PutChunked(p, "aid-1", "App", size1, hashes, w.MissingChunks(hashes)); err != nil {
+			t.Errorf("first push: %v", err)
+			return
+		}
+		staged := w.ChunkCount()
+		// The same hash list offered for a chunk-aligned blob claims the
+		// final hash at ChunkSize where the store holds 17 bytes.
+		size2 := 3 * offload.ChunkSize
+		if err := w.PutChunked(p, "aid-2", "App", size2, hashes, nil); err == nil {
+			t.Error("size-conflicting chunk accepted")
+		}
+		if w.ChunkCount() != staged {
+			t.Errorf("rejected push changed the store: %d -> %d chunks", staged, w.ChunkCount())
+		}
+		if _, ok := w.Lookup("aid-2"); ok {
+			t.Error("rejected push created an entry")
+		}
+	})
+	e.Run()
+}

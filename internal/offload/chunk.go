@@ -10,7 +10,7 @@ import (
 
 // Content-addressed code chunking: the delta half of the warehouse. A code
 // blob is split into fixed-size chunks, each named by its content hash
-// (FNV-1a with a murmur fmix32 finalizer — the same hash discipline as the
+// (FNV-1a with a murmur fmix64 finalizer — the same hash discipline as the
 // cluster ring, which already learned that raw FNV clusters related keys).
 // A device offers the hash list of its blob; the server answers with the
 // subset its chunk store is missing; only those chunks cross the network.
@@ -18,30 +18,33 @@ import (
 // therefore transfer their common prefix exactly once, ever.
 
 // ChunkSize is the fixed content-addressing granularity. 64 KiB keeps the
-// hash list small (4 bytes per 64 KiB ≈ 0.006% overhead) while still
+// hash list small (8 bytes per 64 KiB ≈ 0.012% overhead) while still
 // splitting a multi-megabyte app into enough chunks to dedup libraries.
 const ChunkSize = 64 * host.KB
 
-// fmix32 is the murmur3 avalanche finalizer.
-func fmix32(h uint32) uint32 {
-	h ^= h >> 16
-	h *= 0x85ebca6b
-	h ^= h >> 13
-	h *= 0xc2b2ae35
-	h ^= h >> 16
+// fmix64 is the murmur3 64-bit avalanche finalizer.
+func fmix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
 	return h
 }
 
-// ChunkHash names a chunk by its content: 32-bit FNV-1a, finalized with
-// fmix32 so related chunks (shared prefixes, counter-stamped tails) spread
-// over the full hash space.
-func ChunkHash(b []byte) uint32 {
-	h := uint32(2166136261)
+// ChunkHash names a chunk by its content: 64-bit FNV-1a, finalized with
+// fmix64 so related chunks (shared prefixes, counter-stamped tails) spread
+// over the full hash space. 64 bits keeps birthday collisions negligible
+// at fleet scale (a 32-bit hash reaches ~50% collision odds at only ~77k
+// unique chunks — a few GiB of unique code — and a collision silently
+// aliases two distinct chunks); at 8 B per 64 KiB the wire cost is noise.
+func ChunkHash(b []byte) uint64 {
+	h := uint64(14695981039346656037)
 	for _, c := range b {
-		h ^= uint32(c)
-		h *= 16777619
+		h ^= uint64(c)
+		h *= 1099511628211
 	}
-	return fmix32(h)
+	return fmix64(h)
 }
 
 // SplitBlob cuts data into ChunkSize chunks; the last chunk may be short.
@@ -63,12 +66,12 @@ func SplitBlob(data []byte) [][]byte {
 }
 
 // ChunkBlob returns the content hashes of data's chunks, in order.
-func ChunkBlob(data []byte) []uint32 {
+func ChunkBlob(data []byte) []uint64 {
 	chunks := SplitBlob(data)
 	if chunks == nil {
 		return nil
 	}
-	out := make([]uint32, len(chunks))
+	out := make([]uint64, len(chunks))
 	for i, c := range chunks {
 		out[i] = ChunkHash(c)
 	}
@@ -103,14 +106,14 @@ func ChunkSpan(size host.Bytes, i int) host.Bytes {
 // name and chunk index — the shared library segment that all code sizes
 // of one app family have in common — while the tail ~1/8 is additionally
 // salted by the exact size: the variant's unique code.
-func SyntheticManifest(app string, size host.Bytes) []uint32 {
+func SyntheticManifest(app string, size host.Bytes) []uint64 {
 	n := ChunkCount(size)
 	if n == 0 {
 		return nil
 	}
 	uniq := (n + 7) / 8
 	shared := n - uniq
-	out := make([]uint32, n)
+	out := make([]uint64, n)
 	for i := range out {
 		var seed string
 		if i < shared {
@@ -123,41 +126,41 @@ func SyntheticManifest(app string, size host.Bytes) []uint32 {
 	return out
 }
 
-// PackHashes flattens a hash list to 4-byte little-endian words — the
+// PackHashes flattens a hash list to 8-byte little-endian words — the
 // payload format chunk offers and need-replies carry on the wire.
-func PackHashes(hs []uint32) []byte {
+func PackHashes(hs []uint64) []byte {
 	if len(hs) == 0 {
 		return nil
 	}
-	out := make([]byte, 4*len(hs))
+	out := make([]byte, 8*len(hs))
 	for i, h := range hs {
-		binary.LittleEndian.PutUint32(out[4*i:], h)
+		binary.LittleEndian.PutUint64(out[8*i:], h)
 	}
 	return out
 }
 
 // UnpackHashes parses a packed hash list.
-func UnpackHashes(b []byte) ([]uint32, error) {
-	if len(b)%4 != 0 {
-		return nil, fmt.Errorf("offload: packed hash list of %d bytes is not a multiple of 4", len(b))
+func UnpackHashes(b []byte) ([]uint64, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("offload: packed hash list of %d bytes is not a multiple of 8", len(b))
 	}
 	if len(b) == 0 {
 		return nil, nil
 	}
-	out := make([]uint32, len(b)/4)
+	out := make([]uint64, len(b)/8)
 	for i := range out {
-		out[i] = binary.LittleEndian.Uint32(b[4*i:])
+		out[i] = binary.LittleEndian.Uint64(b[8*i:])
 	}
 	return out, nil
 }
 
 // DeltaBytes sums the payload bytes of the missing chunks of an offer —
 // what a delta push actually moves over the network.
-func DeltaBytes(offer ChunkOffer, missing []uint32) host.Bytes {
+func DeltaBytes(offer ChunkOffer, missing []uint64) host.Bytes {
 	if len(missing) == 0 {
 		return 0
 	}
-	idx := make(map[uint32]host.Bytes, len(offer.Hashes))
+	idx := make(map[uint64]host.Bytes, len(offer.Hashes))
 	for i, h := range offer.Hashes {
 		if _, ok := idx[h]; !ok {
 			idx[h] = ChunkSpan(offer.Size, i)
@@ -177,7 +180,7 @@ type ChunkOffer struct {
 	App    string
 	Size   host.Bytes
 	Seq    int
-	Hashes []uint32
+	Hashes []uint64
 }
 
 // ChunkNeed is the server's answer: the subset of offered chunks its
@@ -187,7 +190,7 @@ type ChunkOffer struct {
 type ChunkNeed struct {
 	Seq       int
 	AID       string
-	Missing   []uint32
+	Missing   []uint64
 	Supported bool
 }
 
@@ -202,7 +205,7 @@ type ChunkedSession interface {
 	// PushChunks completes a negotiated delta push: only the missing
 	// chunks were transferred; the warehouse stages them and binds the
 	// reassembled blob under the offer's AID.
-	PushChunks(p *sim.Proc, offer ChunkOffer, missing []uint32) error
+	PushChunks(p *sim.Proc, offer ChunkOffer, missing []uint64) error
 }
 
 // Wire carriers: chunk frames ride the existing exported Frame shape (an

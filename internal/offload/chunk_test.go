@@ -61,11 +61,11 @@ func TestSyntheticManifestFamilySharing(t *testing.T) {
 	if reflect.DeepEqual(a, b) {
 		t.Fatal("different sizes produced identical manifests")
 	}
-	have := make(map[uint32]bool, len(a))
+	have := make(map[uint64]bool, len(a))
 	for _, h := range a {
 		have[h] = true
 	}
-	var missing []uint32
+	var missing []uint64
 	for _, h := range b {
 		if !have[h] {
 			missing = append(missing, h)
@@ -80,7 +80,7 @@ func TestSyntheticManifestFamilySharing(t *testing.T) {
 	c := SyntheticManifest("Linpack", 5*host.MB)
 	for _, h := range c {
 		if have[h] {
-			t.Fatalf("unrelated app shares chunk %08x", h)
+			t.Fatalf("unrelated app shares chunk %016x", h)
 		}
 	}
 	// Determinism: same inputs, same manifest.
@@ -90,7 +90,7 @@ func TestSyntheticManifestFamilySharing(t *testing.T) {
 }
 
 func TestPackHashesRoundTrip(t *testing.T) {
-	hs := []uint32{0, 1, 0xdeadbeef, 0xffffffff}
+	hs := []uint64{0, 1, 0xdeadbeef, 0xdeadbeefcafef00d, 0xffffffffffffffff}
 	got, err := UnpackHashes(PackHashes(hs))
 	if err != nil {
 		t.Fatal(err)

@@ -14,6 +14,13 @@ import (
 // result. It returns the negotiated need and the final result.
 func chunkExchange(t *testing.T, c *offload.Conn, app workload.App, seq int, size host.Bytes) (offload.ChunkOffer, offload.ChunkNeed, offload.Result) {
 	t.Helper()
+	return chunkExchangeHashes(t, c, app, seq, size, offload.SyntheticManifest(app.Name(), size))
+}
+
+// chunkExchangeHashes is chunkExchange with an explicit offered hash list,
+// letting tests send degenerate offers a real device never would.
+func chunkExchangeHashes(t *testing.T, c *offload.Conn, app workload.App, seq int, size host.Bytes, hashes []uint64) (offload.ChunkOffer, offload.ChunkNeed, offload.Result) {
+	t.Helper()
 	task := app.NewTask(testRng(seq), seq)
 	aid := offload.AID(app.Name(), size)
 	if err := c.Send(offload.Frame{Kind: offload.KindExec, Exec: &offload.ExecRequest{
@@ -32,7 +39,7 @@ func chunkExchange(t *testing.T, c *offload.Conn, app workload.App, seq int, siz
 	}
 	offer := offload.ChunkOffer{
 		AID: aid, App: app.Name(), Size: size, Seq: task.Seq,
-		Hashes: offload.SyntheticManifest(app.Name(), size),
+		Hashes: hashes,
 	}
 	if err := c.Send(offload.ChunkOfferFrame(&offer)); err != nil {
 		t.Fatal(err)
@@ -92,6 +99,40 @@ func TestServerChunkedDeltaPush(t *testing.T) {
 	delta := offload.DeltaBytes(offer2, need2.Missing)
 	if ratio := float64(delta) / float64(size2); ratio >= 0.30 {
 		t.Fatalf("family delta ratio %.2f, want < 0.30 (%d of %d bytes)", ratio, delta, size2)
+	}
+}
+
+// TestServerDegenerateChunkOffer pins the review-found crash: an offer
+// whose hash list cannot describe its size — empty Params (which the wire
+// codec accepts) or a truncated manifest — must be answered
+// Supported=false rather than reach the warehouse's chunk staging, and
+// the full code push that follows still completes the request.
+func TestServerDegenerateChunkOffer(t *testing.T) {
+	app, _ := workload.ByName(workload.NameLinpack)
+	cfg := core.DefaultConfig(core.KindRattrap)
+	cfg.ChunkedPush = true
+	_, ln := startServerCfg(t, cfg, Options{})
+	_, c := helloOverWire(t, ln.Addr().String(), offload.WireBinary, "degen-dev")
+
+	// No hashes at all.
+	size1 := 5 * host.MB
+	_, need, res := chunkExchangeHashes(t, c, app, 0, size1, nil)
+	if need.Supported {
+		t.Fatal("server accepted an empty chunk offer")
+	}
+	if res.Err != "" || res.Output == "" {
+		t.Fatalf("fallback after empty offer failed: %+v", res)
+	}
+
+	// A hash list too short for the offered size.
+	size2 := size1 + 512*host.KB
+	short := offload.SyntheticManifest(app.Name(), size2)[:1]
+	_, need, res = chunkExchangeHashes(t, c, app, 1, size2, short)
+	if need.Supported {
+		t.Fatal("server accepted a truncated chunk offer")
+	}
+	if res.Err != "" || res.Output == "" {
+		t.Fatalf("fallback after truncated offer failed: %+v", res)
 	}
 }
 

@@ -899,7 +899,7 @@ func (h *connHandler) serveRequest(req offload.ExecRequest, start time.Time) {
 		// The negotiated offer is remembered so the code frame that follows
 		// stages chunks instead of a full blob.
 		var negotiated *offload.ChunkOffer
-		var negotiatedMissing []uint32
+		var negotiatedMissing []uint64
 		for msg.offer != nil {
 			var need offload.ChunkNeed
 			var negErr error
