@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz lint bench bench-allocs bench-realtime bench-throughput bench-cluster bench-autoscale bench-faults bench-stages bench-boot bench-scenario scenario-validate ci clean
+.PHONY: all build vet test race fuzz lint bench bench-allocs bench-realtime bench-throughput bench-cluster bench-autoscale bench-reshard bench-faults bench-stages bench-boot bench-scenario scenario-validate ci clean
 
 all: ci
 
@@ -35,6 +35,12 @@ lint: vet
 		| grep -v -E '^internal/core/(core|dispatch|autoscaler|failuretracker)\.go:' || true); \
 	if [ -n "$$bad" ]; then \
 		echo "pool capacity mutated outside the core lifecycle owners (use BootRuntime/CordonRuntime):"; \
+		echo "$$bad"; exit 1; \
+	fi
+	@bad=$$(grep -rn -E 'NewRing(Members)?\(' --include='*.go' internal/ cmd/ \
+		| grep -v '_test.go' | grep -v '^internal/cluster/' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "placement rings constructed outside internal/cluster (route through Membership):"; \
 		echo "$$bad"; exit 1; \
 	fi
 
@@ -75,6 +81,12 @@ bench-cluster:
 # fixed pool on p99, or teardown faults leak pool capacity).
 bench-autoscale:
 	$(GO) run ./cmd/rattrap-bench -autoscale
+
+# Regenerates BENCH_reshard.json (kill-one-add-one live membership sweep;
+# fails if any request fails, the post-event rate drops below 90% of
+# pre-event, or the join stops delta-transferring).
+bench-reshard:
+	$(GO) run ./cmd/rattrap-bench -reshard
 
 # Regenerates BENCH_faults.json (fault-plan robustness sweep).
 bench-faults:

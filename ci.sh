@@ -76,6 +76,13 @@ go run ./cmd/rattrap-bench -autoscale -short -out "$scratch/as2" > /dev/null
 # bit-identical across runs — no wall-clock fields to strip.
 diff "$scratch/BENCH_autoscale.json" "$scratch/as2/BENCH_autoscale.json"
 
+echo "== reshard gate (kill-one-add-one membership sweep, double-run determinism)"
+go run ./cmd/rattrap-bench -reshard -short -out "$scratch"
+mkdir -p "$scratch/rs2"
+go run ./cmd/rattrap-bench -reshard -short -out "$scratch/rs2" > /dev/null
+# The reshard report is entirely virtual-time: the whole file must match.
+diff "$scratch/BENCH_reshard.json" "$scratch/rs2/BENCH_reshard.json"
+
 echo "== scenario validate (every checked-in scenario must decode)"
 go run ./cmd/rattrap-bench -scenario-validate scenarios
 
@@ -84,6 +91,7 @@ go run ./cmd/rattrap-bench -scenario scenarios/overload-shed.yaml -out "$scratch
 go run ./cmd/rattrap-bench -scenario scenarios/boot-storm.yaml -out "$scratch"
 go run ./cmd/rattrap-bench -scenario scenarios/exec-flaky.yaml -out "$scratch"
 go run ./cmd/rattrap-bench -scenario scenarios/warm-fleet.yaml -out "$scratch"
+go run ./cmd/rattrap-bench -scenario scenarios/reshard-live.yaml -out "$scratch"
 
 echo "== scenario determinism (double run, byte-identical report)"
 go run ./cmd/rattrap-bench -scenario scenarios/baseline.yaml -out "$scratch" > /dev/null

@@ -12,6 +12,7 @@
 //	rattrap-bench -cluster [-short] [-out dir]   # sharded-gateway scaling sweep (shards x devices)
 //	rattrap-bench -faults [-seed N] [-out dir]   # fault-plan robustness sweep
 //	rattrap-bench -stages [-seed N] [-out dir]   # per-stage latency breakdown (deterministic)
+//	rattrap-bench -reshard [-short] [-out dir]   # live kill-one-add-one membership sweep with hard gates
 //	rattrap-bench -scenario scenarios/baseline.yaml [-out dir]   # run one chaos scenario, assertions as exit status
 //	rattrap-bench -scenario-validate scenarios   # parse-and-check scenario files without running
 package main
@@ -41,6 +42,7 @@ func main() {
 	stages := flag.Bool("stages", false, "emit the per-stage latency breakdown as BENCH_stages.json")
 	boot := flag.Bool("boot", false, "measure cold vs template-clone boots and the warehouse delta push, write BENCH_boot.json")
 	ascale := flag.Bool("autoscale", false, "race the elastic pool against fixed pools under bursty arrivals and write BENCH_autoscale.json")
+	reshard := flag.Bool("reshard", false, "kill one shard and add another mid-sweep, gate availability/recovery/delta-migration, write BENCH_reshard.json")
 	scen := flag.String("scenario", "", "run one YAML chaos scenario and write BENCH_scenario.json (exit 1 on failed assertions)")
 	scenValidate := flag.String("scenario-validate", "", "parse and validate a scenario file or every *.yaml in a directory, without running")
 	flag.Parse()
@@ -103,6 +105,14 @@ func main() {
 	if *ascale {
 		if err := runAutoscaleBench(*seed, *out, *short); err != nil {
 			fmt.Fprintf(os.Stderr, "rattrap-bench: autoscale: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *reshard {
+		if err := runReshardBench(*seed, *out, *short); err != nil {
+			fmt.Fprintf(os.Stderr, "rattrap-bench: reshard: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -9,27 +9,46 @@
 // what makes the design replicate — a shard is exactly the single-node
 // platform of §IV, unmodified.
 //
+// Placement lives in a versioned Membership (membership.go): an
+// epoch-numbered table that shards can join, leave, or fall out of at
+// runtime. A membership change moves only the vnode ranges the ring
+// reassigns, and what crosses between shards is the warehouse's 64 KiB
+// content-addressed chunks under the MissingChunks negotiation — a joining
+// shard pulls only blocks it does not already hold. With Replicas > 1
+// every warehouse entry is fanned out to the R shards clockwise of its
+// AID, so losing a shard loses no cached code.
+//
 // A Cluster runs all shards on one sim.Engine, so results in virtual time
 // are bit-deterministic per seed, and a 1-shard Cluster is byte-identical
 // to a bare Platform (pinned by the experiments goldens). The realtime
 // serving layer shards differently — one engine and pacing driver per
-// shard, for wall-clock parallelism — but routes with this package's Ring,
-// so placement agrees between the two modes.
+// shard, for wall-clock parallelism — but routes with this package's
+// Membership, so placement agrees between the two modes.
 package cluster
 
 import (
+	"errors"
 	"fmt"
 
 	"rattrap/internal/core"
+	"rattrap/internal/host"
 	"rattrap/internal/obs"
 	"rattrap/internal/offload"
 	"rattrap/internal/sim"
 )
 
+// ErrShardDown reports an operation against a shard that crashed after the
+// session was routed to it. It is retryable by design: the failure already
+// advanced the membership epoch, so the caller's next Prepare routes to a
+// surviving shard. Retry loops should treat it like a transient transport
+// fault (alongside faults.IsTransient and offload.ErrOverloaded).
+var ErrShardDown = errors.New("cluster: shard down")
+
 // ShardError tags a platform error with the shard that produced it. It
 // wraps rather than flattens: errors.As still finds the shard's
 // offload.OverloadedError (whose RetryAfter hint reflects that shard's own
-// queue and hold-time EWMA), and errors.Is still matches core.ErrBlocked.
+// queue and hold-time EWMA), and errors.Is still matches core.ErrBlocked
+// and ErrShardDown.
 type ShardError struct {
 	Shard int
 	Err   error
@@ -47,48 +66,115 @@ func ShardPrefix(i int) string { return fmt.Sprintf("shard%d.", i) }
 // CIDPrefix is the per-shard runtime-ID prefix ("s2-cac-1").
 func CIDPrefix(i int) string { return fmt.Sprintf("s%d-", i) }
 
-// Cluster implements offload.Gateway over N Platform shards on one engine.
-type Cluster struct {
-	shards []*core.Platform
-	ring   *Ring
+// MigrationStats accumulates what the membership machinery moved: joins,
+// removals and failures applied; entries and bytes migrated (DeltaBytes is
+// what the chunk negotiation actually transferred, FullBytes what copying
+// whole blobs would have cost); entries dropped from shards that left a
+// replica set; and the replica fan-out's background copies.
+type MigrationStats struct {
+	Joins    int
+	Removals int
+	Failures int
+
+	EntriesMoved   int
+	DeltaBytes     host.Bytes
+	FullBytes      host.Bytes
+	EntriesDropped int
+
+	ReplicaCopies int
+	ReplicaDelta  host.Bytes
+	Repaired      int
 }
 
-// New builds an n-shard cluster on engine e. Every shard gets an identical
-// copy of cfg — including cfg.Autoscale, so an elastic cluster runs one
-// independent control loop per shard, each sizing its own pool from its
-// own queue; idle shards scale to MinRuntimes (or to zero). With n > 1
-// each shard's CIDs are prefixed "sN-" so runtime IDs are unique
-// cluster-wide. With n == 1 the configuration is left untouched — a
-// 1-shard Cluster must be indistinguishable from the bare Platform it
+// Cluster implements offload.Gateway over a versioned set of Platform
+// shards on one engine. The shards slice is indexed by stable shard id and
+// append-only: a dead shard keeps its slot (and its platform, for
+// post-mortem inspection) forever.
+type Cluster struct {
+	e      *sim.Engine
+	cfg    core.Config
+	reg    *obs.Registry
+	mem    *Membership
+	shards []*core.Platform
+	failed []bool // crash-model flag: failed shards reject in-flight ops
+
+	// onShardAdded, when set, is invoked synchronously for every shard
+	// booted after construction (fault-hook wiring, instrumentation).
+	onShardAdded func(id int, pl *core.Platform)
+
+	// Membership operations serialize through this queue: each op's
+	// migration runs on its own spawned proc, and a finished proc starts
+	// the next — never two rebalances in flight, and no perpetual procs
+	// (the engine must drain when the cluster quiesces).
+	queue []func(p *sim.Proc)
+	busy  bool
+
+	stats MigrationStats
+}
+
+// New builds an n-shard cluster on engine e with replica factor 1. Every
+// shard gets an identical copy of cfg — including cfg.Autoscale, so an
+// elastic cluster runs one independent control loop per shard, each sizing
+// its own pool from its own queue; idle shards scale to MinRuntimes (or to
+// zero). With n > 1 each shard's CIDs are prefixed "sN-" so runtime IDs
+// are unique cluster-wide. With n == 1 the configuration is left untouched
+// — a 1-shard Cluster must be indistinguishable from the bare Platform it
 // wraps.
 func New(e *sim.Engine, cfg core.Config, n int) *Cluster {
+	return NewReplicated(e, cfg, n, 1)
+}
+
+// NewReplicated builds an n-shard cluster whose warehouse entries fan out
+// to r replicas (r clamped to [1, n]). r == 1 is exactly New.
+func NewReplicated(e *sim.Engine, cfg core.Config, n, r int) *Cluster {
 	if n < 1 {
 		n = 1
 	}
-	c := &Cluster{ring: NewRing(n, 0)}
+	if r > n {
+		r = n
+	}
+	c := &Cluster{e: e, cfg: cfg, mem: NewMembership(n, 0, r)}
 	for i := 0; i < n; i++ {
 		scfg := cfg
 		if n > 1 {
 			scfg.CIDPrefix = CIDPrefix(i)
 		}
 		c.shards = append(c.shards, core.New(e, scfg))
+		c.failed = append(c.failed, false)
 	}
 	return c
 }
 
-// Shards returns the shard count.
+// Shards returns the total shard-slot count, dead slots included (slot i
+// is shard id i forever).
 func (c *Cluster) Shards() int { return len(c.shards) }
 
-// Shard returns shard i's platform.
+// Shard returns shard i's platform (valid for dead shards too).
 func (c *Cluster) Shard(i int) *core.Platform { return c.shards[i] }
 
-// Owner returns the shard index owning aid.
-func (c *Cluster) Owner(aid string) int { return c.ring.Owner(aid) }
+// Membership exposes the placement table (epoch, states, replica sets).
+func (c *Cluster) Membership() *Membership { return c.mem }
+
+// Epoch returns the current routing-table version.
+func (c *Cluster) Epoch() uint64 { return c.mem.Epoch() }
+
+// Owner returns the shard id owning aid under the current epoch.
+func (c *Cluster) Owner(aid string) int { return c.mem.Primary(aid) }
+
+// MigrationStats returns a snapshot of the migration counters.
+func (c *Cluster) MigrationStats() MigrationStats { return c.stats }
+
+// OnShardAdded registers a hook run synchronously for every shard booted
+// by AddShard — the scenario runner uses it to wire fault-injection hooks
+// into late-joining shards exactly as Run wired the founding ones.
+func (c *Cluster) OnShardAdded(fn func(id int, pl *core.Platform)) { c.onShardAdded = fn }
 
 // SetObs installs one registry across all shards. With multiple shards,
 // every instrument is prefixed "shardN." so one scrape separates them; a
-// 1-shard cluster keeps the platform's plain instrument names.
+// 1-shard cluster keeps the platform's plain instrument names. The
+// registry is remembered so shards added later self-register.
 func (c *Cluster) SetObs(reg *obs.Registry) {
+	c.reg = reg
 	for i, pl := range c.shards {
 		if len(c.shards) > 1 {
 			pl.SetObsPrefixed(reg, ShardPrefix(i))
@@ -99,16 +185,24 @@ func (c *Cluster) SetObs(reg *obs.Registry) {
 }
 
 // Prepare implements offload.Gateway: route the request to the shard
-// owning its AID. Errors come back wrapped in *ShardError (unwrapped
-// typed errors intact); the returned session wraps the shard's session
-// the same way.
+// owning its AID under the current epoch. Errors come back wrapped in
+// *ShardError (unwrapped typed errors intact); the returned session wraps
+// the shard's session the same way and stays pinned to its shard for its
+// whole lifetime — routing changes never migrate an in-flight session, so
+// the PR 2 idempotency window (device, seq) keeps pointing at the dedup
+// state that saw the first attempt.
 func (c *Cluster) Prepare(p *sim.Proc, req offload.ExecRequest) (offload.Session, error) {
-	shard := c.ring.Owner(req.AID)
+	shard := c.mem.Primary(req.AID)
+	if c.failed[shard] {
+		// Every routable shard is gone (the ring routes to a dead shard
+		// only when no live member remains).
+		return nil, &ShardError{Shard: shard, Err: ErrShardDown}
+	}
 	sess, err := c.shards[shard].Prepare(p, req)
 	if err != nil {
 		return nil, &ShardError{Shard: shard, Err: err}
 	}
-	return &shardSession{Session: sess, shard: shard}, nil
+	return &shardSession{Session: sess, shard: shard, c: c}, nil
 }
 
 // Runtimes merges every shard's Container DB listing, shard 0 first. The
@@ -155,20 +249,32 @@ func (c *Cluster) WarehouseStats() (entries, hits int) {
 	return entries, hits
 }
 
-// shardSession tags session-level errors with the owning shard.
+// shardSession pins a session to the shard that prepared it and tags
+// session-level errors with that shard. If the shard crashes mid-session,
+// further operations fail fast with ErrShardDown (wrapped, so errors.Is
+// sees it); work already inside the platform completes — the crash model
+// cuts the shard off from new operations, it does not unwind virtual time.
 type shardSession struct {
 	offload.Session
 	shard int
+	c     *Cluster
 }
 
 func (s *shardSession) PushCode(p *sim.Proc, push offload.CodePush) error {
+	if s.c.failed[s.shard] {
+		return &ShardError{Shard: s.shard, Err: ErrShardDown}
+	}
 	if err := s.Session.PushCode(p, push); err != nil {
 		return &ShardError{Shard: s.shard, Err: err}
 	}
+	s.c.fanOut(s.shard, push.AID)
 	return nil
 }
 
 func (s *shardSession) Execute(p *sim.Proc) (offload.Result, error) {
+	if s.c.failed[s.shard] {
+		return offload.Result{}, &ShardError{Shard: s.shard, Err: ErrShardDown}
+	}
 	res, err := s.Session.Execute(p)
 	if err != nil {
 		// ErrCodeNeeded is part of the Gateway protocol (callers test for

@@ -7,14 +7,17 @@ import (
 
 // Ring consistent-hashes AIDs onto shards. Each shard owns vnodes points
 // on a 32-bit FNV-1a circle; an AID belongs to the shard owning the first
-// point clockwise of its hash. Placement depends only on (shards, vnodes,
+// point clockwise of its hash. Placement depends only on (members, vnodes,
 // aid), never on request order, so routing is deterministic across runs
-// and processes — and adding a shard moves only ~1/n of the AIDs, which is
-// the property that lets a future rebalancer keep most warehouse entries
-// where they are.
+// and processes. Point hashes are keyed by (shard id, vnode) — adding a
+// member only inserts that member's points and removing one only deletes
+// its points, so a membership change remaps only the arcs those points
+// cover: ~1/n of the keys on a join, and every remapped key lands on the
+// new member (TestRingJoinMovesOnlyItsShare pins both halves of the
+// doc-comment claim the static ring only asserted in prose).
 type Ring struct {
-	shards int
-	points []ringPoint // sorted by hash
+	members []int       // sorted shard ids the ring is built over
+	points  []ringPoint // sorted by hash
 }
 
 type ringPoint struct {
@@ -26,18 +29,33 @@ type ringPoint struct {
 // stay within a few percent of even for realistic AID counts.
 const DefaultVnodes = 128
 
-// NewRing builds a ring of n shards (n >= 1) with vnodes points each.
-// vnodes <= 0 selects DefaultVnodes.
+// NewRing builds a ring of n shards (n >= 1, ids 0..n-1) with vnodes
+// points each. vnodes <= 0 selects DefaultVnodes.
 func NewRing(n, vnodes int) *Ring {
 	if n < 1 {
 		n = 1
 	}
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return NewRingMembers(ids, vnodes)
+}
+
+// NewRingMembers builds a ring over an explicit member set — the form the
+// versioned Membership layer uses, where shard ids are stable across
+// joins and leaves and therefore not necessarily dense. An empty member
+// list yields a ring that routes everything to shard 0 (callers guard
+// against routing on an empty membership before this matters).
+func NewRingMembers(ids []int, vnodes int) *Ring {
 	if vnodes <= 0 {
 		vnodes = DefaultVnodes
 	}
-	r := &Ring{shards: n, points: make([]ringPoint, 0, n*vnodes)}
+	members := append([]int(nil), ids...)
+	sort.Ints(members)
+	r := &Ring{members: members, points: make([]ringPoint, 0, len(members)*vnodes)}
 	var buf [16]byte
-	for s := 0; s < n; s++ {
+	for _, s := range members {
 		for v := 0; v < vnodes; v++ {
 			key := appendUint(appendUint(buf[:0], uint32(s)), uint32(v))
 			r.points = append(r.points, ringPoint{hash: hash32(key), shard: s})
@@ -53,12 +71,18 @@ func NewRing(n, vnodes int) *Ring {
 	return r
 }
 
-// Shards returns the shard count.
-func (r *Ring) Shards() int { return r.shards }
+// Shards returns the member count.
+func (r *Ring) Shards() int { return len(r.members) }
+
+// Members returns the sorted member ids (a copy).
+func (r *Ring) Members() []int { return append([]int(nil), r.members...) }
 
 // Owner returns the shard owning aid.
 func (r *Ring) Owner(aid string) int {
-	if r.shards == 1 {
+	if len(r.members) == 1 {
+		return r.members[0]
+	}
+	if len(r.points) == 0 {
 		return 0
 	}
 	h := hashString32(aid)
@@ -69,16 +93,71 @@ func (r *Ring) Owner(aid string) int {
 	return r.points[i].shard
 }
 
+// Successors returns the first n distinct shards clockwise of aid's hash —
+// the AID's replica set, primary first. Fewer than n members returns them
+// all. The slice is freshly allocated (callers keep it).
+func (r *Ring) Successors(aid string, n int) []int {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	if len(r.members) <= 1 || len(r.points) == 0 {
+		out := make([]int, 0, 1)
+		if len(r.members) == 1 {
+			out = append(out, r.members[0])
+		} else {
+			out = append(out, 0)
+		}
+		return out
+	}
+	h := hashString32(aid)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]int, 0, n)
+	seen := 0
+	for k := 0; k < len(r.points) && len(out) < n; k++ {
+		p := r.points[(i+k)%len(r.points)]
+		dup := false
+		for _, s := range out {
+			if s == p.shard {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, p.shard)
+		}
+		seen++
+	}
+	return out
+}
+
 func hash32(b []byte) uint32 {
 	h := fnv.New32a()
 	h.Write(b)
 	return fmix32(h.Sum32())
 }
 
+// FNV-1a 32-bit parameters (hash/fnv's, inlined so the string walk below
+// stays allocation-free).
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+// hashString32 is the routing hot path: every Prepare on every gateway
+// mode hashes its AID through here. The loop is FNV-1a inlined over the
+// string — byte-identical to fnv.New32a on the same bytes, but without
+// the []byte(s) conversion that escapes into the hash.Hash32 interface
+// and allocated once per route. BenchmarkRingOwner pins it at 0 allocs/op.
 func hashString32(s string) uint32 {
-	h := fnv.New32a()
-	h.Write([]byte(s))
-	return fmix32(h.Sum32())
+	h := uint32(fnvOffset32)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= fnvPrime32
+	}
+	return fmix32(h)
 }
 
 // fmix32 is the murmur3 avalanche finalizer. Raw FNV-1a keeps

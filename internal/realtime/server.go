@@ -116,9 +116,9 @@ type serverShard struct {
 // routed by consistent-hashed AID.
 type Server struct {
 	shards []serverShard
-	ring   *cluster.Ring
-	drv    *Driver        // shard 0 (single-shard accessors, tests)
-	pl     *core.Platform // shard 0
+	mem    *cluster.Membership // static membership: epoch-0 routing only
+	drv    *Driver             // shard 0 (single-shard accessors, tests)
+	pl     *core.Platform      // shard 0
 	log    *log.Logger
 	lat    *metrics.LatencyHistogram
 	opts   Options
@@ -201,7 +201,7 @@ func newServer(cfg core.Config, speed float64, logger *log.Logger, ticker bool, 
 	}
 	s := &Server{
 		shards:     shards,
-		ring:       cluster.NewRing(opts.Shards, 0),
+		mem:        cluster.NewMembership(opts.Shards, 0, 1),
 		drv:        shards[0].drv,
 		pl:         shards[0].pl,
 		log:        logger,
@@ -233,9 +233,12 @@ func (s *Server) Shards() int { return len(s.shards) }
 // ShardPlatform returns shard i's platform.
 func (s *Server) ShardPlatform(i int) *core.Platform { return s.shards[i].pl }
 
-// shardFor routes an AID to its owning shard.
+// shardFor routes an AID to its owning shard. The server's membership is
+// static (its shards are fixed per-process engines), so this is always an
+// epoch-0 route — but it goes through the same Membership type the sim
+// cluster reshards, so placement agrees between the two modes.
 func (s *Server) shardFor(aid string) (int, serverShard) {
-	i := s.ring.Owner(aid)
+	i := s.mem.Primary(aid)
 	return i, s.shards[i]
 }
 

@@ -275,7 +275,7 @@ func TestServerHotPathZeroAlloc(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := offload.NewConnWire(&repeatStream{data: enc.Bytes()}, offload.WireAuto)
-	ring := cluster.NewRing(4, 0)
+	mem := cluster.NewMembership(4, 0, 1)
 	dedup := newDedupCache(64)
 	res := offload.Result{Output: "n=64 residual=1.08e-13", ResultBytes: 550}
 
@@ -285,8 +285,8 @@ func TestServerHotPathZeroAlloc(t *testing.T) {
 			t.Fatal(err)
 		}
 		req := *f.Exec
-		if ring.Owner(req.AID) < 0 {
-			t.Fatal("ring routed nowhere")
+		if mem.Primary(req.AID) < 0 {
+			t.Fatal("membership routed nowhere")
 		}
 		key := dedupKey{dev: "phone-1", aid: req.AID, seq: req.Seq}
 		if _, hit := dedup.lookup(key); hit {

@@ -7,6 +7,7 @@ import (
 
 	"rattrap/internal/core"
 	"rattrap/internal/metrics"
+	"rattrap/internal/sim"
 )
 
 // Report is the machine-readable outcome of one scenario run
@@ -21,9 +22,30 @@ type Report struct {
 	Totals      Stats             `json:"totals"`
 	Cohorts     []CohortReport    `json:"cohorts"`
 	Pool        PoolReport        `json:"pool"`
+	Resharding  *ReshardReport    `json:"resharding,omitempty"`
 	Events      []EventReport     `json:"events,omitempty"`
 	Assertions  []AssertionReport `json:"assertions"`
 	Pass        bool              `json:"pass"`
+}
+
+// ReshardReport is the membership and migration accounting for runs that
+// resharded or replicated. It is omitted entirely for static 1-replica
+// runs, keeping their reports byte-identical to the pre-resharding era.
+type ReshardReport struct {
+	Epoch          uint64 `json:"epoch"`
+	Replicas       int    `json:"replicas"`
+	LiveShards     int    `json:"live_shards"`
+	TotalShards    int    `json:"total_shards"`
+	Joins          int    `json:"joins"`
+	Removals       int    `json:"removals"`
+	Failures       int    `json:"failures"`
+	EntriesMoved   int    `json:"entries_moved"`
+	DeltaBytes     int64  `json:"delta_bytes"`
+	FullBytes      int64  `json:"full_bytes"`
+	EntriesDropped int    `json:"entries_dropped"`
+	ReplicaCopies  int    `json:"replica_copies"`
+	ReplicaDelta   int64  `json:"replica_delta_bytes"`
+	Repaired       int    `json:"repaired"`
 }
 
 // Stats aggregates request outcomes. Latency percentiles are over
@@ -178,6 +200,26 @@ func (r *runner) report() *Report {
 	}
 	rep.Pool = pool
 
+	if mem := r.cl.Membership(); r.cl.Epoch() > 0 || mem.Replicas() > 1 {
+		ms := r.cl.MigrationStats()
+		rep.Resharding = &ReshardReport{
+			Epoch:          r.cl.Epoch(),
+			Replicas:       mem.Replicas(),
+			LiveShards:     mem.LiveCount(),
+			TotalShards:    mem.Len(),
+			Joins:          ms.Joins,
+			Removals:       ms.Removals,
+			Failures:       ms.Failures,
+			EntriesMoved:   ms.EntriesMoved,
+			DeltaBytes:     int64(ms.DeltaBytes),
+			FullBytes:      int64(ms.FullBytes),
+			EntriesDropped: ms.EntriesDropped,
+			ReplicaCopies:  ms.ReplicaCopies,
+			ReplicaDelta:   int64(ms.ReplicaDelta),
+			Repaired:       ms.Repaired,
+		}
+	}
+
 	rep.Pass = true
 	for _, a := range r.scn.Assertions {
 		ar := r.evaluate(a, rep)
@@ -264,6 +306,28 @@ func (r *runner) evaluate(a AssertionSpec, rep *Report) AssertionReport {
 		ar.Want = rangeWant(a)
 		ar.Got = fmt.Sprintf("%d", rep.Totals.Overloads)
 		ar.Pass = inRange(float64(rep.Totals.Overloads), a)
+	case AssertLiveShards:
+		live := r.cl.Membership().LiveCount()
+		ar.Want = rangeWant(a)
+		ar.Got = fmt.Sprintf("%d", live)
+		ar.Pass = inRange(float64(live), a)
+	case AssertSuccessRateAfter:
+		ar.Want = fmt.Sprintf(">= %.4f after %v", a.Min, a.After)
+		var ac *afterCounter
+		for _, c := range r.afters {
+			if c.at == sim.Time(a.After) {
+				ac = c
+				break
+			}
+		}
+		if ac == nil || ac.arrivals == 0 {
+			ar.Got = "no arrivals after threshold"
+			ar.Pass = false
+			break
+		}
+		rate := float64(ac.succeeded) / float64(ac.arrivals)
+		ar.Got = fmt.Sprintf("%.4f over %d requests", rate, ac.arrivals)
+		ar.Pass = rate >= a.Min
 	case AssertBootP50, AssertBootP99:
 		var boots []float64
 		for i := 0; i < r.cl.Shards(); i++ {

@@ -52,6 +52,17 @@ type runner struct {
 
 	cohorts []*cohortState
 	events  []EventReport
+
+	// afters holds one counter per success-rate-after assertion: requests
+	// arriving at or past the threshold are scored separately, so a
+	// mid-run membership event can be gated on post-event health alone.
+	afters []*afterCounter
+}
+
+type afterCounter struct {
+	at        sim.Time
+	arrivals  int
+	succeeded int
 }
 
 // Run executes a validated scenario and returns its report. The run is a
@@ -71,9 +82,22 @@ func Run(scn *Scenario) (*Report, error) {
 		cfg.MinRuntimes = scn.Platform.MinRuntimes
 		cfg.Autoscale = core.AutoscaleConfig{Enabled: true, Interval: scn.Platform.Interval}
 	}
-	r.cl = cluster.New(r.e, cfg, scn.Shards)
+	replicas := scn.Platform.Replicas
+	if replicas < 1 {
+		replicas = 1
+	}
+	r.cl = cluster.NewReplicated(r.e, cfg, scn.Shards, replicas)
 	for i := 0; i < r.cl.Shards(); i++ {
 		r.installFaultHooks(r.cl.Shard(i))
+	}
+	// Shards commissioned mid-run by add-shard events get the same fault
+	// wiring as founding shards.
+	r.cl.OnShardAdded(func(id int, pl *core.Platform) { r.installFaultHooks(pl) })
+
+	for _, a := range scn.Assertions {
+		if a.Kind == AssertSuccessRateAfter {
+			r.afters = append(r.afters, &afterCounter{at: sim.Time(a.After)})
+		}
 	}
 
 	for i, c := range scn.Fleet {
@@ -171,6 +195,21 @@ func (r *runner) applyEvent(ev EventSpec) {
 			}
 		}
 		detail = fmt.Sprintf("shard %d, %d runtimes cordoned", ev.Shard, n)
+	case EvAddShard:
+		id := r.cl.AddShard()
+		detail = fmt.Sprintf("shard %d joining (epoch %d)", id, r.cl.Epoch())
+	case EvRemoveShard:
+		if r.cl.RemoveShard(ev.Shard) {
+			detail = fmt.Sprintf("shard %d draining", ev.Shard)
+		} else {
+			detail = fmt.Sprintf("shard %d not removable", ev.Shard)
+		}
+	case EvFailShard:
+		if r.cl.FailShard(ev.Shard) {
+			detail = fmt.Sprintf("shard %d down (epoch %d)", ev.Shard, r.cl.Epoch())
+		} else {
+			detail = fmt.Sprintf("shard %d already down", ev.Shard)
+		}
 	case EvSetFloor:
 		for i := 0; i < r.cl.Shards(); i++ {
 			r.cl.Shard(i).SetPoolBounds(ev.Floor, r.scn.Platform.MaxRuntimes)
@@ -237,6 +276,14 @@ func (r *runner) spawnRequest(cs *cohortState, k int) {
 		} else {
 			cs.failed++
 		}
+		for _, ac := range r.afters {
+			if arrived >= ac.at {
+				ac.arrivals++
+				if err == nil {
+					ac.succeeded++
+				}
+			}
+		}
 	})
 }
 
@@ -253,7 +300,9 @@ func (r *runner) offload(p *sim.Proc, cs *cohortState, link *netsim.Link, dev st
 		if errors.Is(err, offload.ErrOverloaded) {
 			cs.overloads++
 		}
-		if attempt >= rp.MaxAttempts || !(faults.IsTransient(err) || errors.Is(err, offload.ErrOverloaded)) {
+		// A down shard is retryable like a transient transport fault: the
+		// next epoch's ring routes the AID to a surviving replica.
+		if attempt >= rp.MaxAttempts || !(faults.IsTransient(err) || errors.Is(err, offload.ErrOverloaded) || errors.Is(err, cluster.ErrShardDown)) {
 			return err
 		}
 		cs.retries++

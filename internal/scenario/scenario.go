@@ -77,6 +77,10 @@ type PlatformSpec struct {
 	Autoscale     bool
 	Interval      time.Duration // autoscale control interval
 	TemplateBoot  bool          // clone runtimes from the captured template
+	// Replicas is the warehouse replica factor R: every pushed entry fans
+	// out to the R shards clockwise of its AID, so a shard failure loses
+	// no cached code. 1 (the default) is the replica-free PR 5 cluster.
+	Replicas int
 }
 
 // ClientSpec is the per-request retry policy (mirrors device.RetryPolicy:
@@ -157,6 +161,17 @@ const (
 	// EvSetFloor changes every shard's autoscaler floor (MinRuntimes) at
 	// runtime via core.Platform.SetPoolBounds.
 	EvSetFloor
+	// EvAddShard joins a fresh shard to the cluster: it boots, pulls its
+	// vnode ranges as chunk deltas, and is commissioned into the ring —
+	// live elastic capacity, not a restart.
+	EvAddShard
+	// EvRemoveShard drains one shard gracefully: it keeps serving while
+	// its entries migrate to their next owners, then leaves the ring.
+	EvRemoveShard
+	// EvFailShard crashes one shard: immediately unroutable, in-flight
+	// sessions get ErrShardDown (retryable), and with replicas > 1 the
+	// survivors re-replicate its entries.
+	EvFailShard
 )
 
 func (k EventKind) String() string {
@@ -173,6 +188,12 @@ func (k EventKind) String() string {
 		return "kill-shard"
 	case EvSetFloor:
 		return "set-floor"
+	case EvAddShard:
+		return "add-shard"
+	case EvRemoveShard:
+		return "remove-shard"
+	case EvFailShard:
+		return "fail-shard"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }
@@ -186,7 +207,7 @@ type EventSpec struct {
 	Factor float64        // EvLoadSpike
 	Dur    time.Duration  // EvLoadSpike
 	Plan   string         // EvFaultPlan
-	Shard  int            // EvKillShard
+	Shard  int            // EvKillShard, EvRemoveShard, EvFailShard
 	Floor  int            // EvSetFloor
 }
 
@@ -221,6 +242,13 @@ const (
 	// gate that the pool really is cloning rather than cold-booting.
 	AssertBootP50
 	AssertBootP99
+	// AssertLiveShards: the final count of routable shards is within
+	// [Min, Max] — did the membership end up where the timeline said.
+	AssertLiveShards
+	// AssertSuccessRateAfter: among requests arriving at or after After,
+	// succeeded/arrivals ≥ Min — the post-chaos recovery gate (a shard
+	// kill early in the soak must not depress the whole-run rate view).
+	AssertSuccessRateAfter
 )
 
 func (k AssertionKind) String() string {
@@ -249,6 +277,10 @@ func (k AssertionKind) String() string {
 		return "boot-p50"
 	case AssertBootP99:
 		return "boot-p99"
+	case AssertLiveShards:
+		return "live-shards"
+	case AssertSuccessRateAfter:
+		return "success-rate-after"
 	}
 	return fmt.Sprintf("AssertionKind(%d)", int(k))
 }
@@ -260,6 +292,7 @@ type AssertionSpec struct {
 	Min    float64
 	Max    float64
 	MaxDur time.Duration
+	After  time.Duration // AssertSuccessRateAfter: arrival-time cutoff
 	HasMin bool
 	HasMax bool
 }
@@ -538,6 +571,7 @@ func (d *decoder) platform(root *yamlNode, path string, ru used) PlatformSpec {
 	spec.Autoscale = d.boolVal(n, p, u, "autoscale", false)
 	spec.TemplateBoot = d.boolVal(n, p, u, "template_boot", false)
 	spec.Interval = d.durVal(n, p, u, "autoscale_interval", 200*time.Millisecond, time.Millisecond, time.Minute)
+	spec.Replicas = d.intVal(n, p, u, "replicas", 1, 1, MaxShards)
 	if d.err == nil && spec.MinRuntimes > spec.MaxRuntimes {
 		d.fail(n, p, fmt.Sprintf("min_runtimes %d exceeds max_runtimes %d", spec.MinRuntimes, spec.MaxRuntimes))
 	}
@@ -687,6 +721,7 @@ func (d *decoder) events(root *yamlNode, path string, ru used, scn *Scenario) []
 		return nil
 	}
 	var out []EventSpec
+	adds := 0 // add-shard events decoded so far: they extend the shard id space
 	for i, item := range n.items {
 		p := fmt.Sprintf("%s.events[%d]", path, i)
 		if d.mapping(item, p) == nil {
@@ -732,6 +767,25 @@ func (d *decoder) events(root *yamlNode, path string, ru used, scn *Scenario) []
 			ev.Shard = d.intVal(item, p, u, "shard", 0, 0, MaxShards-1)
 			if d.err == nil && ev.Shard >= scn.Shards {
 				d.fail(item.get("shard"), p+".shard", fmt.Sprintf("shard %d out of range (scenario has %d)", ev.Shard, scn.Shards))
+			}
+		case "add-shard":
+			ev.Kind = EvAddShard
+			adds++
+			if d.err == nil && scn.Shards+adds > MaxShards {
+				d.fail(item, p, fmt.Sprintf("add-shard would exceed %d shards", MaxShards))
+			}
+		case "remove-shard", "fail-shard":
+			if action == "remove-shard" {
+				ev.Kind = EvRemoveShard
+			} else {
+				ev.Kind = EvFailShard
+			}
+			ev.Shard = d.intVal(item, p, u, "shard", 0, 0, MaxShards-1)
+			// Earlier add-shard events extend the addressable id space:
+			// shard ids are assigned in event order, founding shards first.
+			if d.err == nil && ev.Shard >= scn.Shards+adds {
+				d.fail(item.get("shard"), p+".shard",
+					fmt.Sprintf("shard %d out of range (%d founding + %d added)", ev.Shard, scn.Shards, adds))
 			}
 		case "set-floor":
 			ev.Kind = EvSetFloor
@@ -856,6 +910,26 @@ func (d *decoder) assertions(root *yamlNode, path string, ru used, scn *Scenario
 		case "warehouse-hit-rate":
 			a.Kind = AssertWarehouseHitRate
 			needMin(0, 1)
+		case "live-shards":
+			a.Kind = AssertLiveShards
+			if item.get("min") != nil {
+				a.Min = float64(d.intVal(item, p, u, "min", 0, 0, MaxShards))
+				a.HasMin = true
+			}
+			if item.get("max") != nil {
+				a.Max = float64(d.intVal(item, p, u, "max", 0, 0, MaxShards))
+				a.HasMax = true
+			}
+			if d.err == nil && !a.HasMin && !a.HasMax {
+				d.fail(item, p, "live-shards needs min and/or max")
+			}
+		case "success-rate-after":
+			a.Kind = AssertSuccessRateAfter
+			a.After = d.durVal(item, p, u, "after", 0, 0, MaxVirtual)
+			if d.err == nil && item.get("after") == nil {
+				d.fail(item, p+".after", "required")
+			}
+			needMin(0, 1)
 		case "overloads":
 			a.Kind = AssertOverloads
 			if item.get("min") != nil {
@@ -910,6 +984,11 @@ func (d *decoder) crossValidate(root *yamlNode, scn *Scenario) {
 	if total > MaxTotalArrivals {
 		d.fail(root.get("fleet"), "scenario.fleet",
 			fmt.Sprintf("%d total arrivals exceed the %d cap", total, MaxTotalArrivals))
+		return
+	}
+	if scn.Platform.Replicas > scn.Shards {
+		d.fail(root.get("platform"), "scenario.platform.replicas",
+			fmt.Sprintf("replicas %d exceeds shards %d", scn.Platform.Replicas, scn.Shards))
 	}
 }
 
